@@ -1,0 +1,15 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+A single session-scoped :class:`ExperimentRunner` caches every
+(benchmark x environment) execution, so the figure/table benches share
+their measurement grid exactly as the paper's figures share runs.
+"""
+
+import pytest
+
+from repro.eval import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()

@@ -1,0 +1,41 @@
+"""Compiler and emulator micro-benchmarks (pytest-benchmark timings).
+
+Not a paper experiment: these measure the reproduction's own throughput
+(compile times per environment, emulated instruction rate) so regressions
+in the infrastructure are visible.
+"""
+
+import pytest
+
+from repro import Machine, iclang
+from repro.benchsuite import BENCHMARKS
+
+SRC = BENCHMARKS["crc"].source
+
+
+@pytest.mark.parametrize("env", ["plain", "ratchet", "wario"])
+def test_compile_throughput(benchmark, env):
+    program = benchmark(lambda: iclang(SRC, env))
+    assert program.text_size > 0
+
+
+def test_emulation_throughput(benchmark):
+    program = iclang(SRC, "plain")
+
+    def run():
+        machine = Machine(program, war_check=False)
+        return machine.run()
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert stats.halted
+
+
+def test_emulation_throughput_with_war_checking(benchmark):
+    program = iclang(SRC, "wario")
+
+    def run():
+        machine = Machine(program, war_check=True)
+        return machine.run()
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert stats.halted

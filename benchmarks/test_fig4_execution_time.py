@@ -1,0 +1,38 @@
+"""Figure 4: normalized execution time for every benchmark under every
+software environment (paper §5.2.1).
+
+Regenerates the figure's series and checks the paper's qualitative
+claims: WARio reduces checkpoint overhead versus both Ratchet and R-PDG,
+with the full environment ordering intact on average.
+"""
+
+from repro.eval import figure4, figure4_summary, render_figure4
+from repro.eval.runner import FIGURE4_ENVIRONMENTS
+
+
+def test_figure4_execution_time(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: figure4(runner), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure4(runner))
+
+    # normalized times are >= 1 for every instrumented environment
+    for bench, by_env in rows.items():
+        for env in FIGURE4_ENVIRONMENTS:
+            assert by_env[env] >= 1.0, (bench, env)
+
+    # average ordering: plain < wario <= r-pdg <= ratchet
+    def avg(env):
+        return sum(by_env[env] for by_env in rows.values()) / len(rows)
+
+    assert 1.0 < avg("wario") <= avg("r-pdg") <= avg("ratchet")
+    # each individual component never beats the complete WARio on average
+    assert avg("wario") <= avg("epilog-optimizer") + 1e-9
+    assert avg("wario") <= avg("write-clusterer") + 1e-9
+    assert avg("wario") <= avg("loop-write-clusterer") + 1e-9
+
+    # headline: WARio cuts a substantial share of the checkpoint overhead
+    summary = figure4_summary(runner)
+    assert summary["wario-vs-ratchet"] > 0.20
+    assert summary["wario-vs-r-pdg"] > 0.15

@@ -1,0 +1,43 @@
+"""Figure 5: executed checkpoints by cause, relative to R-PDG = 100%
+(paper §5.2.2).
+
+Checks the per-benchmark observations the paper calls out: SHA and Tiny
+AES lose most of their middle-end checkpoints to the Loop Write
+Clusterer; CRC has no middle-end checkpoints to optimise but gains from
+the Epilog Optimizer; back-end checkpoints may grow under clustering.
+"""
+
+from repro.eval import figure5, render_figure5
+from repro.ir.instructions import CKPT_FUNCTION_EXIT, CKPT_MIDDLE_END
+
+
+def test_figure5_checkpoint_causes(benchmark, runner):
+    data = benchmark.pedantic(
+        lambda: figure5(runner), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure5(runner))
+
+    # R-PDG rows total exactly 100%
+    for bench, by_env in data.items():
+        assert abs(sum(by_env["r-pdg"].values()) - 100.0) < 1e-6, bench
+
+    # Loop Write Clusterer slashes the middle-end share for SHA / Tiny AES
+    for bench in ("sha", "tiny-aes"):
+        base = data[bench]["r-pdg"][CKPT_MIDDLE_END]
+        clustered = data[bench]["loop-write-clusterer"][CKPT_MIDDLE_END]
+        assert clustered < 0.5 * base, bench
+
+    # CRC's middle-end cannot improve, but its function exits do
+    assert (
+        data["crc"]["wario"][CKPT_MIDDLE_END]
+        == data["crc"]["r-pdg"][CKPT_MIDDLE_END]
+    )
+    assert (
+        data["crc"]["epilog-optimizer"][CKPT_FUNCTION_EXIT]
+        < data["crc"]["r-pdg"][CKPT_FUNCTION_EXIT]
+    )
+
+    # complete WARio never exceeds R-PDG's total
+    for bench, by_env in data.items():
+        assert sum(by_env["wario"].values()) <= 100.0 + 1e-6, bench

@@ -1,0 +1,38 @@
+"""Figure 6: the effect of the Loop Write Clusterer's unroll factor N
+(paper §5.2.4).
+
+The paper's observations: N = 2 already gives a substantial improvement;
+middle-end checkpoint counts fall steeply and then saturate; overhead
+reduction flattens (and can fluctuate) for large N as back-end
+checkpoints and runtime checks grow; N ~ 8 is a good default.
+"""
+
+from repro.eval import figure6, render_figure6
+
+
+def test_figure6_unroll_factor(benchmark, runner):
+    data = benchmark.pedantic(
+        lambda: figure6(runner), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure6(runner))
+
+    for bench, points in data.items():
+        by_factor = {p.factor: p for p in points}
+        # N=1 is the baseline: 100% of middle-end checkpoints
+        assert abs(by_factor[1].middle_pct - 100.0) < 1e-6
+        # N=2 already removes a substantial share of middle-end ckpts
+        assert by_factor[2].middle_pct < 85.0, bench
+        # saturation: going 8 -> 35 changes little compared to 1 -> 8
+        drop_to_8 = by_factor[1].middle_pct - by_factor[8].middle_pct
+        drop_8_to_35 = by_factor[8].middle_pct - by_factor[35].middle_pct
+        assert drop_to_8 > drop_8_to_35, bench
+        # the default N=8 achieves a real overhead reduction
+        assert by_factor[8].overhead_reduction > 5.0, bench
+        # middle-end percentages fall overall; small local fluctuations
+        # from trip-count remainders are expected (paper §5.2.4: "the
+        # overhead fluctuates when the unroll factor N becomes large")
+        factors = sorted(by_factor)
+        for a, b in zip(factors, factors[1:]):
+            assert by_factor[b].middle_pct <= by_factor[a].middle_pct * 1.3 + 1.0, bench
+        assert by_factor[35].middle_pct <= by_factor[2].middle_pct <= by_factor[1].middle_pct

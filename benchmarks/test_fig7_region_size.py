@@ -1,0 +1,36 @@
+"""Figure 7: idempotent region sizes — cycles between consecutive
+checkpoints (paper §5.2.5).
+
+The paper's observation: removing over half of the checkpoints shifts
+the mean and upper percentiles up, but the *maximum* region stays small
+enough for forward progress at tens-of-milliseconds power-on times; the
+clusterer removes checkpoints where regions are small (loop bodies),
+leaving the large regions mostly unchanged.
+"""
+
+from repro.eval import figure7, render_figure7
+from repro.eval.figures import BENCH_ORDER
+
+
+def test_figure7_region_sizes(benchmark, runner):
+    data = benchmark.pedantic(
+        lambda: figure7(runner), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure7(runner))
+
+    for bench in BENCH_ORDER:
+        ratchet = data[bench]["ratchet"]
+        wario = data[bench]["wario"]
+        # removing checkpoints cannot shrink the average region
+        assert wario.mean >= ratchet.mean - 1e-9, bench
+        # percentiles are ordered
+        for stats in (ratchet, wario):
+            assert stats.p25 <= stats.median <= stats.p75 <= stats.maximum
+
+    # forward progress bound: every maximum region fits a short power-on
+    # window (paper: ~45k cycles max, 5.6 ms at 8 MHz)
+    overall_max = max(
+        data[b][env].maximum for b in BENCH_ORDER for env in ("ratchet", "r-pdg", "wario")
+    )
+    assert overall_max < 100_000

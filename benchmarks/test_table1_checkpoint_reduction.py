@@ -1,0 +1,27 @@
+"""Table 1: difference in total executed checkpoints, WARio (and
+WARio+Expander) versus Ratchet (paper §5.2.2).
+
+The paper reports -18.7%..-88.6% per benchmark (average ~-48%); we check
+the reduction exists everywhere, that SHA is the best case, and that the
+average lands in the paper's ballpark.
+"""
+
+from repro.eval import render_table1, table1
+
+
+def test_table1_checkpoint_reduction(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: table1(runner), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_table1(runner))
+
+    for bench, deltas in rows.items():
+        assert deltas["wario"] <= 0.0, bench  # never more checkpoints
+
+    best = min(rows, key=lambda b: rows[b]["wario"])
+    assert best == "sha"  # paper: SHA -88.6% is the best case
+    assert rows["sha"]["wario"] < -0.6
+
+    avg = sum(r["wario"] for r in rows.values()) / len(rows)
+    assert -0.70 < avg < -0.25  # paper: -47.6% on average

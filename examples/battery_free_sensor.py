@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""A battery-free sensor node surviving harvested-energy brownouts.
+
+The paper's motivating deployment (§1-2): an embedded device powered by
+an energy harvester samples a sensor, maintains running statistics, and
+seals each block of samples with a CRC — all while the capacitor browns
+out every few tens of thousands of cycles.
+
+This example compiles the firmware with complete WARio, then executes it
+under the two synthetic harvester traces and a fixed 50k-cycle supply,
+demonstrating forward progress and intact results across dozens of power
+failures.
+
+Run:  python examples/battery_free_sensor.py
+"""
+
+from repro import FixedPeriodPower, Machine, iclang, trace_a, trace_b
+
+FIRMWARE = r"""
+unsigned short readings[512];
+unsigned int block_sum[8];
+unsigned int block_crc[8];
+unsigned int blocks_sealed;
+
+unsigned int lcg_state;
+
+unsigned int sample_sensor(void) {
+    /* a deterministic stand-in for an ADC read */
+    lcg_state = lcg_state * 1103515245 + 12345;
+    return (lcg_state >> 16) & 0x3FF;
+}
+
+unsigned int crc_step(unsigned int crc, unsigned int value) {
+    int k;
+    crc = crc ^ value;
+    for (k = 0; k < 8; k++) {
+        if (crc & 1) {
+            crc = 0xEDB88320 ^ (crc >> 1);
+        } else {
+            crc = crc >> 1;
+        }
+    }
+    return crc;
+}
+
+int main(void) {
+    int block, i;
+    lcg_state = 2024;
+    for (block = 0; block < 8; block++) {
+        unsigned int sum = 0;
+        unsigned int crc = 0xFFFFFFFF;
+        for (i = 0; i < 64; i++) {
+            unsigned int v = sample_sensor();
+            readings[block * 64 + i] = (unsigned short)v;
+            sum = sum + v;
+            crc = crc_step(crc, v);
+        }
+        block_sum[block] = sum;
+        block_crc[block] = crc ^ 0xFFFFFFFF;
+        blocks_sealed = blocks_sealed + 1;
+    }
+    return 0;
+}
+"""
+
+
+def expected_results():
+    state = 2024
+    sums, crcs = [], []
+    for _block in range(8):
+        total, crc = 0, 0xFFFFFFFF
+        for _ in range(64):
+            state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+            v = (state >> 16) & 0x3FF
+            total += v
+            crc ^= v
+            for _ in range(8):
+                crc = (0xEDB88320 ^ (crc >> 1)) if crc & 1 else crc >> 1
+        sums.append(total & 0xFFFFFFFF)
+        crcs.append(crc ^ 0xFFFFFFFF)
+    return sums, crcs
+
+
+def main() -> None:
+    program = iclang(FIRMWARE, "wario")
+    want_sums, want_crcs = expected_results()
+
+    supplies = [
+        ("continuous", None),
+        ("fixed 50k cycles", FixedPeriodPower(50_000)),
+        ("harvester trace A", trace_a()),
+        ("harvester trace B", trace_b()),
+    ]
+    print(f"{'power supply':<20}{'cycles':>10}{'failures':>10}"
+          f"{'re-executed':>13}{'sealed':>8}  intact?")
+    for label, supply in supplies:
+        machine = Machine(program, war_check=True)
+        stats = machine.run(power=supply)
+        ok = (
+            machine.read_global("block_sum", 8) == want_sums
+            and machine.read_global("block_crc", 8) == want_crcs
+            and machine.read_global("blocks_sealed") == 8
+            and machine.war.clean
+        )
+        print(
+            f"{label:<20}{stats.cycles:>10}{stats.power_failures:>10}"
+            f"{stats.reexecuted_cycles:>13}{machine.read_global('blocks_sealed'):>8}"
+            f"  {'yes' if ok else 'NO'}"
+        )
+        assert ok
+
+    print("\nEvery supply produced the identical sealed blocks — forward")
+    print("progress survives arbitrary power failures.")
+
+
+if __name__ == "__main__":
+    main()

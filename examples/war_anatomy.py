@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Anatomy of a WAR violation (paper Figure 1, executable).
+
+The paper's Figure 1 shows three versions of the same snippet: unprotected
+code that corrupts non-volatile memory when re-executed, Ratchet's
+checkpoint-per-WAR protection, and WARio's clustered version.  This
+example reproduces all three observations on the emulator:
+
+1. the uninstrumented build contains WAR violations (flagged by the
+   emulator's verifier) and computes *wrong results* under power failures;
+2. every instrumented build is verified WAR-free and computes correct
+   results under the same power failures;
+3. WARio resolves the same WARs with fewer checkpoints than Ratchet.
+
+Run:  python examples/war_anatomy.py
+"""
+
+from repro import FixedPeriodPower, Machine, iclang
+from repro.emulator import CostModel, EmulationError
+
+# Figure 1's snippet, scaled into a loop: read a and b, then increment
+# both — two independent WAR violations per iteration.
+SOURCE = r"""
+unsigned int a[32];
+unsigned int b[32];
+int main(void) {
+    int i;
+    for (i = 0; i < 32; i++) {
+        a[i] = a[i] + 1;
+        b[i] = b[i] + 1;
+    }
+    return 0;
+}
+"""
+
+EXPECTED = [1] * 32
+
+
+def main() -> None:
+    # -- 1. the unprotected build ----------------------------------------
+    plain = iclang(SOURCE, "plain")
+    machine = Machine(plain, war_check=True)
+    machine.run()
+    print(f"plain C, continuous power : {len(machine.war.violations)} WAR "
+          f"violations detected, results {'OK' if machine.read_global('a', 32) == EXPECTED else 'WRONG'}")
+
+    # under intermittent power, re-execution corrupts NVM: elements get
+    # incremented more than once (there are no checkpoints to resume from,
+    # so the program restarts and re-increments already-written cells)
+    machine = Machine(plain, cost_model=CostModel(boot_cycles=50), war_check=False)
+    try:
+        machine.run(power=FixedPeriodPower(700), max_instructions=500_000)
+        a = machine.read_global("a", 32)
+        corrupted = a != EXPECTED
+        print(f"plain C, intermittent     : completed with "
+              f"{'CORRUPTED' if corrupted else 'correct'} results "
+              f"(max increment observed: {max(a)})")
+    except EmulationError as exc:
+        print(f"plain C, intermittent     : no forward progress ({type(exc).__name__})")
+
+    # -- 2 + 3. the protected builds --------------------------------------
+    print()
+    print(f"{'environment':<14}{'checkpoints':>12}{'violations':>12}"
+          f"{'intermittent result':>22}")
+    for env in ("ratchet", "r-pdg", "wario"):
+        program = iclang(SOURCE, env)
+        continuous = Machine(program, war_check=True)
+        stats = continuous.run()
+        intermittent = Machine(program, cost_model=CostModel(boot_cycles=50))
+        intermittent.run(power=FixedPeriodPower(700))
+        ok = (
+            intermittent.read_global("a", 32) == EXPECTED
+            and intermittent.read_global("b", 32) == EXPECTED
+        )
+        print(
+            f"{env:<14}{stats.checkpoints:>12}"
+            f"{len(continuous.war.violations):>12}"
+            f"{'correct' if ok else 'WRONG':>22}"
+        )
+        assert continuous.war.clean and ok
+
+    ratchet = Machine(iclang(SOURCE, "ratchet")).run().checkpoints
+    wario = Machine(iclang(SOURCE, "wario")).run().checkpoints
+    print(f"\nWARio resolved the same WARs with "
+          f"{100 * (1 - wario / ratchet):.0f}% fewer executed checkpoints.")
+
+
+if __name__ == "__main__":
+    main()

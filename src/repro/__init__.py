@@ -1,0 +1,54 @@
+"""repro — a full reproduction of *WARio: Efficient Code Generation for
+Intermittent Computing* (Kortbeek et al., PLDI 2022).
+
+The package contains every system the paper builds or depends on:
+
+* :mod:`repro.frontend` — a mini-C front end;
+* :mod:`repro.ir` — a typed SSA IR with a ``checkpoint`` intrinsic;
+* :mod:`repro.analysis` — dominators, loops, alias analysis (three
+  precision modes), whole-program points-to, and WAR detection (the PDG);
+* :mod:`repro.transforms` — mem2reg, inlining, simplify-cfg, DCE, and
+  single-block loop unrolling;
+* :mod:`repro.core` — WARio itself: Loop Write Clusterer, Write
+  Clusterer, Expander, the PDG Checkpoint Inserter with its greedy
+  hitting set, and the ``iclang`` driver with the paper's software
+  environments (Ratchet, R-PDG, WARio, ...);
+* :mod:`repro.backend` — a Thumb-2-flavoured back end: instruction
+  selection, linear-scan register allocation with dedicated spill slots,
+  spill-WAR checkpoint inserters, pop conversion, and the Epilog
+  Optimizer;
+* :mod:`repro.emulator` — the intermittent-computing emulator: NVM
+  memory, cycle model, double-buffered register checkpoints, power
+  failures, interrupts, and WAR-violation verification;
+* :mod:`repro.benchsuite` — the paper's six benchmarks with Python
+  reference implementations;
+* :mod:`repro.eval` — the harness regenerating every figure and table.
+
+Quickstart::
+
+    from repro import iclang, Machine
+
+    program = iclang(C_SOURCE, env="wario")
+    machine = Machine(program)
+    stats = machine.run()
+    print(stats.summary())
+"""
+
+from .core import ENVIRONMENTS, EnvironmentConfig, iclang
+from .emulator import (
+    ContinuousPower,
+    FixedPeriodPower,
+    Machine,
+    TracePower,
+    trace_a,
+    trace_b,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "iclang", "ENVIRONMENTS", "EnvironmentConfig",
+    "Machine",
+    "ContinuousPower", "FixedPeriodPower", "TracePower", "trace_a", "trace_b",
+    "__version__",
+]

@@ -1,0 +1,166 @@
+"""The ``iclang`` command-line driver (paper §4.6), as a CLI.
+
+Usage::
+
+    python -m repro compile program.c --env wario -o listing.txt
+    python -m repro run program.c --env wario --power 50000 --verify-war
+    python -m repro run program.c --env ratchet --print-globals acc,total
+    python -m repro envs
+
+``compile`` prints (or writes) a disassembly listing plus size/static
+statistics; ``run`` executes on the emulator and reports execution
+statistics; ``envs`` lists the available software environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .backend.disasm import disassemble
+from .core import ENVIRONMENTS, iclang
+from .emulator import (
+    ContinuousPower,
+    EmulationError,
+    FixedPeriodPower,
+    Machine,
+    trace_a,
+    trace_b,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="WARio reproduction: compile mini-C for intermittent execution",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser("compile", help="compile and disassemble")
+    compile_p.add_argument("sources", nargs="+", help="mini-C source files")
+    compile_p.add_argument("--env", default="wario", help="software environment")
+    compile_p.add_argument("--unroll", type=int, default=None,
+                           help="Loop Write Clusterer unroll factor N")
+    compile_p.add_argument("-o", "--output", default=None,
+                           help="write the listing to a file instead of stdout")
+
+    run_p = sub.add_parser("run", help="compile and execute on the emulator")
+    run_p.add_argument("sources", nargs="+")
+    run_p.add_argument("--env", default="wario")
+    run_p.add_argument("--unroll", type=int, default=None)
+    run_p.add_argument("--power", default=None,
+                       help="'continuous' (default), a fixed on-period in "
+                            "cycles, 'trace-a', or 'trace-b'")
+    run_p.add_argument("--verify-war", action="store_true",
+                       help="check every memory access for WAR violations")
+    run_p.add_argument("--interrupt-interval", type=int, default=None,
+                       help="fire a timer interrupt every N cycles")
+    run_p.add_argument("--print-globals", default=None,
+                       help="comma-separated globals to print after the run "
+                            "(append :COUNT for arrays, e.g. acc:16)")
+    run_p.add_argument("--max-instructions", type=int, default=50_000_000)
+
+    sub.add_parser("envs", help="list the software environments")
+    return parser
+
+
+def _power_from(spec):
+    if spec is None or spec == "continuous":
+        return None
+    if spec == "trace-a":
+        return trace_a()
+    if spec == "trace-b":
+        return trace_b()
+    return FixedPeriodPower(int(spec))
+
+
+def _read_sources(paths):
+    sources = []
+    for path in paths:
+        with open(path) as handle:
+            sources.append(handle.read())
+    return sources
+
+
+def _cmd_compile(args) -> int:
+    program = iclang(_read_sources(args.sources), args.env, unroll_factor=args.unroll)
+    checkpoints = sum(1 for i in program.instrs if i.opcode == "checkpoint")
+    listing = disassemble(program)
+    summary = (
+        f"; environment: {args.env}, static checkpoints: {checkpoints}\n"
+    )
+    text = summary + listing + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({program.text_size} .text bytes, "
+              f"{checkpoints} static checkpoints)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = iclang(_read_sources(args.sources), args.env, unroll_factor=args.unroll)
+    machine = Machine(
+        program,
+        war_check=args.verify_war,
+        interrupt_interval=args.interrupt_interval,
+    )
+    try:
+        stats = machine.run(
+            power=_power_from(args.power), max_instructions=args.max_instructions
+        )
+    except EmulationError as exc:
+        print(f"execution aborted: {exc}")
+        return 1
+    print(stats.summary())
+    if stats.power_failures:
+        print(f"re-executed {stats.reexecuted_cycles} cycles across "
+              f"{stats.power_failures} power failures")
+    if args.verify_war:
+        if machine.war.clean:
+            print("WAR verification: clean")
+        else:
+            print(f"WAR verification: {len(machine.war.violations)} violations")
+            for violation in machine.war.violations[:5]:
+                print(f"  {violation}")
+            return 1
+    if args.print_globals:
+        for spec in args.print_globals.split(","):
+            name, _, count = spec.partition(":")
+            value = machine.read_global(name.strip(), int(count) if count else 1)
+            print(f"@{name.strip()} = {value}")
+    return 0
+
+
+def _cmd_envs(_args) -> int:
+    for name, config in ENVIRONMENTS.items():
+        bits = []
+        if not config.instrument:
+            bits.append("uninstrumented")
+        else:
+            bits.append(f"alias={config.alias_mode}")
+            if config.loop_write_clusterer:
+                bits.append(f"loop-write-clusterer(N={config.unroll_factor})")
+            if config.write_clusterer:
+                bits.append("write-clusterer")
+            if config.expander:
+                bits.append("expander")
+            bits.append(f"spill={config.spill_checkpoint_mode}")
+            bits.append(f"epilogue={config.epilogue_style}")
+        print(f"{name:<22} {', '.join(bits)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_envs(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""repro.analysis — CFG, dominance, loop, alias and memory-dependence
+analyses (the NOELLE/PDG stand-in that WARio's transformations consume)."""
+
+from .alias import AFFINE, ALIAS_MODES, CONSERVATIVE, PRECISE, AliasAnalysis, PointerInfo
+from .cfg import predecessors_map, reachability, reachable_blocks, reverse_postorder
+from .dominators import (
+    DominatorTree,
+    PostDominatorTree,
+    dominance_frontiers,
+    dominator_tree,
+    post_dominator_tree,
+)
+from .loops import Loop, LoopInfo, find_induction_variables, loop_info
+from .memdep import (
+    BACKWARD,
+    FORWARD,
+    WARViolation,
+    access_size,
+    block_memory_accesses,
+    find_wars,
+)
+
+__all__ = [
+    "AliasAnalysis", "PointerInfo", "PRECISE", "CONSERVATIVE", "AFFINE",
+    "ALIAS_MODES",
+    "reverse_postorder", "reachability", "reachable_blocks", "predecessors_map",
+    "DominatorTree", "PostDominatorTree", "dominator_tree",
+    "post_dominator_tree", "dominance_frontiers",
+    "Loop", "LoopInfo", "loop_info", "find_induction_variables",
+    "WARViolation", "find_wars", "access_size", "block_memory_accesses",
+    "FORWARD", "BACKWARD",
+]

@@ -1,0 +1,191 @@
+"""Memory-dependence analysis: the PDG slice WARio consumes.
+
+The central product is the list of *WAR violations*: (load, store) pairs
+over possibly-the-same NVM address where the store executes after the load
+(possibly via a loop back edge) with no intervening forced checkpoint.
+Re-executing such a region after a power failure makes the load observe
+the new value (paper Figure 1), so each WAR must be broken by a
+checkpoint between its read and its write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.instructions import Call, Checkpoint, Load, Store
+from .alias import AliasAnalysis
+from .cfg import reachability
+from .loops import Loop, LoopInfo
+
+#: WAR kinds: ``forward`` = store strictly after load in the same-iteration
+#: program order; ``backward`` = the store only reaches the load around a
+#: loop back edge (store earlier in the block/loop body than the load).
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+@dataclass
+class WARViolation:
+    """One WAR violation that a checkpoint must break."""
+
+    load: Load
+    store: Store
+    kind: str
+
+    def __repr__(self):
+        return f"<WAR {self.kind} {self.load!r} -> {self.store!r}>"
+
+
+def access_size(instr) -> int:
+    """Byte width of a load/store's memory access."""
+    if isinstance(instr, Load):
+        return instr.type.size
+    if isinstance(instr, Store):
+        return instr.pointer.type.pointee.size
+    raise TypeError(f"not a memory access: {instr!r}")
+
+
+def find_wars(
+    function,
+    aa: AliasAnalysis,
+    loop_info: LoopInfo,
+    calls_are_checkpoints: bool = True,
+) -> List[WARViolation]:
+    """All unresolved WAR violations of ``function``.
+
+    ``calls_are_checkpoints`` models the forced checkpoints at function
+    entry/exit: a call on every path between the read and the write of a
+    WAR already breaks it (paper §3.1.2, PDG Checkpoint Inserter).
+    Checkpoint instructions already present in the IR likewise resolve.
+    """
+    loads: List[Load] = []
+    stores: List[Store] = []
+    positions: Dict[int, Tuple[object, int]] = {}
+    barrier_index: Dict[int, List[int]] = {}
+    for block in function.blocks:
+        barriers: List[int] = []
+        for idx, instr in enumerate(block.instructions):
+            positions[id(instr)] = (block, idx)
+            if isinstance(instr, Load):
+                loads.append(instr)
+            elif isinstance(instr, Store):
+                stores.append(instr)
+            if _is_barrier(instr, calls_are_checkpoints):
+                barriers.append(idx)
+        barrier_index[id(block)] = barriers
+
+    reach = reachability(function)
+    common_cache: Dict[Tuple[int, int], object] = {}
+    wars: List[WARViolation] = []
+    for load in loads:
+        lblock, lidx = positions[id(load)]
+        lsize = access_size(load)
+        for store in stores:
+            sblock, sidx = positions[id(store)]
+            ssize = access_size(store)
+            pair_key = (id(lblock), id(sblock))
+            if pair_key in common_cache:
+                common = common_cache[pair_key]
+            else:
+                common = loop_info.common_loop(lblock, sblock)
+                common_cache[pair_key] = common
+            war = _classify_pair(
+                load, lblock, lidx, lsize,
+                store, sblock, sidx, ssize,
+                aa, common, reach,
+            )
+            if war is None:
+                continue
+            if _resolved_by_barrier_index(
+                war, lblock, lidx, sblock, sidx, barrier_index
+            ):
+                continue
+            wars.append(war)
+    return wars
+
+
+def _resolved_by_barrier_index(
+    war: WARViolation, lblock, lidx, sblock, sidx, barrier_index
+) -> bool:
+    """Fast version of the barrier-on-every-path check over precomputed,
+    sorted per-block barrier positions."""
+    import bisect
+
+    lbars = barrier_index[id(lblock)]
+    sbars = barrier_index[id(sblock)]
+    if lblock is sblock:
+        if war.kind == FORWARD:
+            pos = bisect.bisect_right(lbars, lidx)
+            return pos < len(lbars) and lbars[pos] < sidx
+        # wrap path: any barrier after the load or before the store
+        return bool(lbars) and (lbars[-1] > lidx or lbars[0] < sidx)
+    after_load = bool(lbars) and lbars[-1] > lidx
+    before_store = bool(sbars) and sbars[0] < sidx
+    return after_load or before_store
+
+
+def _classify_pair(
+    load, lblock, lidx, lsize,
+    store, sblock, sidx, ssize,
+    aa: AliasAnalysis,
+    common: Optional[Loop],
+    reach,
+) -> Optional[WARViolation]:
+    same_iter_alias = aa.may_alias(load.pointer, lsize, store.pointer, ssize)
+    cross_alias = (
+        common is not None
+        and aa.may_alias_cross_iteration(
+            load.pointer, lsize, store.pointer, ssize, common
+        )
+    )
+    if lblock is sblock:
+        if sidx > lidx:
+            if same_iter_alias or cross_alias:
+                return WARViolation(load, store, FORWARD)
+            return None
+        # Store textually at/before the load: only reachable around a cycle.
+        if common is None or not cross_alias:
+            return None
+        return WARViolation(load, store, BACKWARD)
+    if id(sblock) in reach[id(lblock)]:
+        if same_iter_alias or cross_alias:
+            return WARViolation(load, store, FORWARD)
+        return None
+    if common is not None and cross_alias:
+        # Same loop, store does not follow the load within an iteration:
+        # the path wraps the back edge.
+        return WARViolation(load, store, BACKWARD)
+    return None
+
+
+def _is_barrier(instr, calls_are_checkpoints: bool) -> bool:
+    if isinstance(instr, Checkpoint):
+        return True
+    return calls_are_checkpoints and isinstance(instr, Call)
+
+
+def _resolved_by_barrier(
+    war: WARViolation, lblock, lidx, sblock, sidx, calls_are_checkpoints: bool
+) -> bool:
+    """True if a forced checkpoint lies on *every* load->store path.
+
+    We only prove this for segments guaranteed to be on every path: the
+    remainder of the load's block, and the prefix of the store's block.
+    """
+    if lblock is sblock:
+        if war.kind == FORWARD:
+            segment = lblock.instructions[lidx + 1 : sidx]
+        else:
+            segment = lblock.instructions[lidx + 1 :] + lblock.instructions[:sidx]
+        return any(_is_barrier(i, calls_are_checkpoints) for i in segment)
+    after_load = lblock.instructions[lidx + 1 :]
+    before_store = sblock.instructions[:sidx]
+    return any(
+        _is_barrier(i, calls_are_checkpoints) for i in after_load
+    ) or any(_is_barrier(i, calls_are_checkpoints) for i in before_store)
+
+
+def block_memory_accesses(block) -> List:
+    """The loads and stores of a block, in order."""
+    return [i for i in block.instructions if isinstance(i, (Load, Store))]

@@ -1,0 +1,88 @@
+"""Whole-program points-to sets for pointer arguments.
+
+NOELLE computes its PDG over the *linked whole-program* IR, so a callee's
+pointer parameter carries the set of objects its callers actually pass.
+Ratchet's built-in alias analysis is function-local: a pointer parameter
+may alias anything.  This module supplies that whole-program slice: a
+fixpoint over the call graph mapping every pointer argument to the set of
+named objects (globals / allocas) it can point into — or ``None`` (TOP)
+when something unanalysable flows in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..ir.instructions import Alloca, Call, GetElementPtr
+from ..ir.types import is_pointer
+from ..ir.values import Argument, GlobalVariable
+
+#: id(Argument) -> frozenset of base objects, or None for TOP.
+PointsToMap = Dict[int, Optional[FrozenSet]]
+
+
+def _root_of(value):
+    """Chase a pointer expression to its root: a named object, an
+    argument, or None (unanalysable)."""
+    seen = 0
+    while isinstance(value, GetElementPtr):
+        value = value.base
+        seen += 1
+        if seen > 64:
+            return None
+    if isinstance(value, (GlobalVariable, Alloca, Argument)):
+        return value
+    return None
+
+
+def compute_points_to(module) -> PointsToMap:
+    """Fixpoint points-to for every pointer argument in the module."""
+    sets: Dict[int, set] = {}
+    top: set = set()
+    args_by_id: Dict[int, Argument] = {}
+    for function in module.defined_functions():
+        for arg in function.args:
+            if is_pointer(arg.type):
+                sets[id(arg)] = set()
+                args_by_id[id(arg)] = arg
+
+    call_edges = []  # (param Argument, actual Value)
+    for function in module.defined_functions():
+        for instr in function.instructions():
+            if not isinstance(instr, Call) or instr.callee.is_declaration:
+                continue
+            for param, actual in zip(instr.callee.args, instr.args):
+                if is_pointer(param.type):
+                    call_edges.append((param, actual))
+
+    changed = True
+    while changed:
+        changed = False
+        for param, actual in call_edges:
+            pid = id(param)
+            if pid in top:
+                continue
+            root = _root_of(actual)
+            if root is None:
+                top.add(pid)
+                changed = True
+            elif isinstance(root, Argument):
+                rid = id(root)
+                if rid in top or rid not in sets:
+                    if pid not in top:
+                        top.add(pid)
+                        changed = True
+                else:
+                    new = sets[rid] - sets[pid]
+                    if new:
+                        sets[pid] |= new
+                        changed = True
+            else:
+                if root not in sets[pid]:
+                    sets[pid].add(root)
+                    changed = True
+
+    result: PointsToMap = {}
+    for pid, bases in sets.items():
+        result[pid] = None if pid in top else frozenset(bases)
+    return result

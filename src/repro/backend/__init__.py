@@ -1,0 +1,83 @@
+"""repro.backend — the Thumb-2-flavoured back end.
+
+Pipeline per function: critical-edge splitting -> instruction selection
+(with phi elimination) -> linear-scan register allocation (dedicated
+spill slots) -> spill-WAR checkpoint insertion (basic or hitting-set) ->
+frame lowering (prologue, epilogue style, call expansion) -> encoding
+into one flat executable :class:`~repro.backend.encoder.Program`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..transforms.critedge import split_critical_edges
+from ..transforms.simplifycfg import simplify_cfg
+from .encoder import GLOBALS_BASE, HALT_ADDRESS, MEMORY_SIZE, STACK_TOP, Program, encode_module
+from .frame import EPILOGUE_STYLES, lower_frame
+from .isel import InstructionSelector
+from .mir import MFunction, MInstr, MModule, StackSlot, VReg, mfunction_to_str
+from .peephole import eliminate_dead_defs
+from .regalloc import allocate_registers
+from .spill_checkpoints import find_spill_wars, insert_spill_checkpoints
+
+
+def lower_module(
+    ir_module,
+    spill_checkpoint_mode: Optional[str] = None,
+    epilogue_style: str = "plain",
+    entry_checkpoints: bool = False,
+) -> MModule:
+    """Lower an IR module to machine code.
+
+    ``spill_checkpoint_mode`` is ``None`` (no back-end WAR protection,
+    for the plain build), ``"basic"`` (Ratchet) or ``"hitting-set"``
+    (WARio).  ``entry_checkpoints`` adds the forced checkpoint at every
+    non-main function entry.
+    """
+    mmodule = MModule(ir_module.name)
+    mmodule.globals = dict(ir_module.globals)
+    for function in ir_module.defined_functions():
+        simplify_cfg(function)
+        split_critical_edges(function)
+        selector = InstructionSelector(function)
+        mfn = selector.run()
+        eliminate_dead_defs(mfn)
+        spills, remats = allocate_registers(mfn)
+        if spill_checkpoint_mode is not None:
+            insert_spill_checkpoints(
+                mfn, spill_checkpoint_mode, calls_are_checkpoints=entry_checkpoints
+            )
+        lower_frame(
+            mfn,
+            spills,
+            remats=remats,
+            epilogue_style=epilogue_style,
+            entry_checkpoint=entry_checkpoints,
+            is_entry_function=(function.name == "main"),
+        )
+        mmodule.add_function(mfn)
+    return mmodule
+
+
+def compile_to_program(
+    ir_module,
+    spill_checkpoint_mode: Optional[str] = None,
+    epilogue_style: str = "plain",
+    entry_checkpoints: bool = False,
+) -> Program:
+    """Lower and encode an IR module into an executable image."""
+    mmodule = lower_module(
+        ir_module, spill_checkpoint_mode, epilogue_style, entry_checkpoints
+    )
+    return encode_module(mmodule)
+
+
+__all__ = [
+    "lower_module", "compile_to_program",
+    "InstructionSelector", "allocate_registers", "lower_frame",
+    "insert_spill_checkpoints", "find_spill_wars",
+    "encode_module", "Program",
+    "MModule", "MFunction", "MInstr", "VReg", "StackSlot", "mfunction_to_str",
+    "EPILOGUE_STYLES", "GLOBALS_BASE", "STACK_TOP", "MEMORY_SIZE", "HALT_ADDRESS",
+]

@@ -1,0 +1,234 @@
+"""Frame lowering: prologue/epilogue construction, call expansion, and
+the three epilogue styles the evaluation compares.
+
+Epilogue styles (paper §3.1.3):
+
+``plain``
+    No intermittent-computing protection (the uninstrumented C build).
+
+``ratchet``
+    Ratchet's scheme: the Idempotent Stack Pop Converter splits each pop
+    into loads + checkpoint + sp adjustment, and every upward sp
+    adjustment is preceded by a checkpoint — up to one checkpoint per
+    stack-pointer modification.
+
+``wario``
+    WARio's Epilog Optimizer: interrupts are masked around the whole
+    epilogue, so one checkpoint (before the last sp adjustment) suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.instructions import CKPT_FUNCTION_ENTRY, CKPT_FUNCTION_EXIT
+from .mir import ARG_REGS, MFunction, MInstr, StackSlot, VReg
+from .regalloc import used_callee_saved
+
+EPILOGUE_STYLES = ("plain", "ratchet", "wario")
+
+
+class FrameError(Exception):
+    pass
+
+
+def lower_frame(
+    fn: MFunction,
+    spills: Dict[int, StackSlot],
+    epilogue_style: str = "plain",
+    entry_checkpoint: bool = False,
+    is_entry_function: bool = False,
+    remats: Dict[int, MInstr] = None,
+) -> None:
+    """Finalise ``fn``: slot offsets, prologue, epilogues, call expansion."""
+    if epilogue_style not in EPILOGUE_STYLES:
+        raise FrameError(f"unknown epilogue style {epilogue_style!r}")
+
+    offset = 0
+    for slot in fn.slots:
+        slot.offset = offset
+        offset += (slot.size + 3) & ~3
+    fn.frame_size = offset
+
+    saved = used_callee_saved(fn)
+    if fn.makes_calls:
+        saved = saved + ["lr"]
+    fn.saved_regs = saved
+    # Thumb-2 encodes low (r4-r7, lr) and high (r8-r11) callee-saved
+    # registers in separate push/pop instructions, so an epilogue can
+    # contain up to three stack-pointer adjustments (paper §3.1.3):
+    # locals deallocation, the high pop, and the low pop.
+    fn.saved_low = [r for r in saved if r == "lr" or int(r[1:]) < 8]
+    fn.saved_high = [r for r in saved if r != "lr" and int(r[1:]) >= 8]
+
+    _expand_calls(fn, spills, remats or {})
+    _expand_rets(fn, epilogue_style)
+    _insert_prologue(fn, entry_checkpoint and not is_entry_function)
+
+
+def _insert_prologue(fn: MFunction, entry_checkpoint: bool) -> None:
+    entry = fn.blocks[0]
+    prologue: List[MInstr] = []
+    if entry_checkpoint:
+        prologue.append(MInstr("checkpoint", cause=CKPT_FUNCTION_ENTRY))
+    if fn.saved_low:
+        prologue.append(MInstr("push", regs=list(fn.saved_low)))
+    if fn.saved_high:
+        prologue.append(MInstr("push", regs=list(fn.saved_high)))
+    if fn.frame_size:
+        prologue.append(MInstr("subsp", ops=[fn.frame_size]))
+    for i, instr in enumerate(prologue):
+        entry.insert(i, instr)
+
+
+def _epilogue_sequence(fn: MFunction, style: str) -> List[MInstr]:
+    """The function epilogue, per protection style.
+
+    The stack after the prologue (descending addresses): low callee-saved
+    group, then the high group, then ``frame_size`` bytes of locals at
+    sp.  Thumb-2 restores each group with its own pop, so the Ratchet
+    style needs up to three checkpoints; the WARio Epilog Optimizer masks
+    interrupts and needs exactly one (paper §3.1.3).
+    """
+    seq: List[MInstr] = []
+    low, high = fn.saved_low, fn.saved_high
+    if style == "plain":
+        if fn.frame_size:
+            seq.append(MInstr("addsp", ops=[fn.frame_size]))
+        if high:
+            seq.append(MInstr("pop", regs=list(high)))
+        if low:
+            seq.append(MInstr("pop", regs=list(low)))
+        return seq
+    if style == "ratchet":
+        # Checkpoint before each upward sp adjustment; pops are converted
+        # to loads + checkpoint + adjust (Idempotent Stack Pop Converter).
+        if fn.frame_size:
+            seq.append(MInstr("checkpoint", cause=CKPT_FUNCTION_EXIT))
+            seq.append(MInstr("addsp", ops=[fn.frame_size]))
+        for group in (high, low):
+            if not group:
+                continue
+            for i, reg in enumerate(group):
+                seq.append(MInstr("ldr", VReg(reg, phys=reg), ["sp", 4 * i]))
+            seq.append(MInstr("checkpoint", cause=CKPT_FUNCTION_EXIT))
+            seq.append(MInstr("addsp", ops=[4 * len(group)]))
+        return seq
+    # wario: mask interrupts, one checkpoint before one final adjustment
+    if not fn.frame_size and not low and not high:
+        return seq
+    seq.append(MInstr("cpsid"))
+    if fn.frame_size:
+        seq.append(MInstr("addsp", ops=[fn.frame_size]))
+    offset = 0
+    for group in (high, low):
+        for i, reg in enumerate(group):
+            seq.append(MInstr("ldr", VReg(reg, phys=reg), ["sp", offset + 4 * i]))
+        offset += 4 * len(group)
+    seq.append(MInstr("checkpoint", cause=CKPT_FUNCTION_EXIT))
+    if offset:
+        seq.append(MInstr("addsp", ops=[offset]))
+    seq.append(MInstr("cpsie"))
+    return seq
+
+
+def _expand_rets(fn: MFunction, style: str) -> None:
+    for block in fn.blocks:
+        new_instrs: List[MInstr] = []
+        for instr in block.instructions:
+            if instr.opcode != "ret":
+                new_instrs.append(instr)
+                continue
+            if instr.ops:
+                src = instr.ops[0]
+                r0 = VReg("r0", phys="r0")
+                if src.phys != "r0":
+                    new_instrs.append(MInstr("mov", r0, [src]))
+            new_instrs.extend(_epilogue_sequence(fn, style))
+        block.instructions = new_instrs
+        for minstr in new_instrs:
+            minstr.parent = block
+
+
+def _expand_calls(fn: MFunction, spills: Dict[int, StackSlot], remats: Dict[int, MInstr]) -> None:
+    for block in fn.blocks:
+        new_instrs: List[MInstr] = []
+        for instr in block.instructions:
+            if instr.opcode != "bl":
+                new_instrs.append(instr)
+                continue
+            if len(instr.args) > len(ARG_REGS):
+                raise FrameError(f"{fn.name}: too many call arguments")
+            # Argument moves form a parallel copy: a source living in
+            # r2/r3 must not be clobbered by an earlier move into that
+            # register, so sequence hazard-free (r12 breaks cycles).
+            pending = []
+            for i, arg in enumerate(instr.args):
+                if arg.is_phys:
+                    pending.append((ARG_REGS[i], ("reg", arg.phys)))
+                elif arg.id in spills:
+                    pending.append((ARG_REGS[i], ("slot", spills[arg.id])))
+                elif arg.id in remats:
+                    pending.append((ARG_REGS[i], ("remat", remats[arg.id])))
+                else:
+                    raise FrameError(f"{fn.name}: unallocated call argument {arg!r}")
+            while pending:
+                progressed = False
+                for i, (target, source) in enumerate(pending):
+                    blocked = any(
+                        src[0] == "reg" and src[1] == target
+                        for t, src in pending
+                        if t != target
+                    )
+                    if blocked:
+                        continue
+                    if source[0] == "reg":
+                        if source[1] != target:
+                            new_instrs.append(
+                                MInstr("mov", VReg(target, phys=target),
+                                       [VReg(source[1], phys=source[1])])
+                            )
+                    elif source[0] == "remat":
+                        template = source[1]
+                        new_instrs.append(
+                            MInstr(template.opcode, VReg(target, phys=target),
+                                   list(template.ops))
+                        )
+                    else:
+                        new_instrs.append(
+                            MInstr("ldr", VReg(target, phys=target), [source[1], 0])
+                        )
+                    pending.pop(i)
+                    progressed = True
+                    break
+                if not progressed:
+                    # cycle among r2/r3 sources: park one in r12
+                    target, source = pending[0]
+                    blocked_reg = next(
+                        src[1] for t, src in pending
+                        if src[0] == "reg" and src[1] in (t2 for t2, _ in pending)
+                    )
+                    new_instrs.append(
+                        MInstr("mov", VReg("r12", phys="r12"),
+                               [VReg(blocked_reg, phys=blocked_reg)])
+                    )
+                    pending = [
+                        (t, ("reg", "r12") if src == ("reg", blocked_reg) else src)
+                        for t, src in pending
+                    ]
+            result_dst: Optional[VReg] = instr.dst
+            call = MInstr("bl", None, list(instr.ops))
+            new_instrs.append(call)
+            if result_dst is not None:
+                r0 = VReg("r0", phys="r0")
+                if result_dst.is_phys:
+                    if result_dst.phys != "r0":
+                        new_instrs.append(MInstr("mov", result_dst, [r0]))
+                elif result_dst.id in spills:
+                    new_instrs.append(MInstr("str", None, [r0, spills[result_dst.id], 0]))
+                else:
+                    raise FrameError(f"{fn.name}: unallocated call result")
+            instr.args = []
+        block.instructions = new_instrs
+        for minstr in new_instrs:
+            minstr.parent = block

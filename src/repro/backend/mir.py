@@ -1,0 +1,240 @@
+"""Machine IR: a Thumb-2-flavoured target with virtual registers.
+
+The machine model mirrors what WARio targets (§4.1): ARMv7-M with r0-r12,
+sp, lr; a non-volatile byte-addressable main memory holding globals and
+the stack; volatile registers saved only by checkpoints.
+
+Register convention (fixed by the backend):
+
+* ``r0``-``r3``, ``r12`` — reserved: argument/return registers and spill
+  scratch.  Never allocated to live ranges.
+* ``r4``-``r11`` — allocatable, callee-saved (pushed in the prologue).
+* ``sp``/``lr`` — stack pointer / link register.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: Condition codes (Thumb naming).
+CONDITIONS = ("eq", "ne", "lt", "le", "gt", "ge", "lo", "ls", "hi", "hs")
+
+#: ICmp predicate -> condition code.
+PREDICATE_TO_COND = {
+    "eq": "eq", "ne": "ne",
+    "slt": "lt", "sle": "le", "sgt": "gt", "sge": "ge",
+    "ult": "lo", "ule": "ls", "ugt": "hi", "uge": "hs",
+}
+
+INVERT_COND = {
+    "eq": "ne", "ne": "eq",
+    "lt": "ge", "ge": "lt", "le": "gt", "gt": "le",
+    "lo": "hs", "hs": "lo", "ls": "hi", "hi": "ls",
+}
+
+ALLOCATABLE = tuple(f"r{i}" for i in range(4, 12))
+ARG_REGS = ("r0", "r1", "r2", "r3")
+SCRATCH = ("r0", "r1", "r12")
+
+
+class VReg:
+    """A virtual register (pre-allocation) or a pinned physical register."""
+
+    _counter = itertools.count()
+
+    def __init__(self, name: str = "", phys: Optional[str] = None):
+        self.id = next(VReg._counter)
+        self.name = name or f"t{self.id}"
+        self.phys = phys  # assigned physical register after RA (or pinned)
+
+    @property
+    def is_phys(self) -> bool:
+        return self.phys is not None
+
+    def __repr__(self):
+        return f"%{self.phys or self.name}"
+
+
+@dataclass
+class StackSlot:
+    """One stack-frame slot.  ``offset`` (bytes from sp after the prologue
+    frame allocation) is assigned during frame lowering."""
+
+    index: int
+    size: int = 4
+    kind: str = "spill"  # 'spill' | 'local'
+    offset: int = -1
+
+    def __repr__(self):
+        return f"[slot{self.index}:{self.kind}]"
+
+    def __hash__(self):
+        return id(self)
+
+    def __eq__(self, other):
+        return self is other
+
+
+class MInstr:
+    """One machine instruction.
+
+    ``dst`` is the defined register (or None); ``ops`` holds the operand
+    list — a mix of :class:`VReg`, ints (immediates), :class:`StackSlot`,
+    and strings (labels / global names) depending on the opcode.
+    """
+
+    def __init__(self, opcode: str, dst: Optional[VReg] = None, ops: Optional[list] = None, **attrs):
+        self.opcode = opcode
+        self.dst = dst
+        self.ops = list(ops or [])
+        self.cond: Optional[str] = attrs.pop("cond", None)
+        self.cause: Optional[str] = attrs.pop("cause", None)      # checkpoints
+        self.args: List[VReg] = attrs.pop("args", [])             # bl
+        self.regs: List[str] = attrs.pop("regs", [])              # push/pop
+        self.comment: str = attrs.pop("comment", "")
+        if attrs:
+            raise TypeError(f"unknown MInstr attrs: {sorted(attrs)}")
+        self.parent: Optional["MBlock"] = None
+
+    # -- classification helpers ------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in ("b", "bx_lr")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in ("b", "bcc")
+
+    def branch_targets(self) -> List[str]:
+        if self.opcode in ("b", "bcc"):
+            return [self.ops[0]]
+        return []
+
+    def uses(self) -> List[VReg]:
+        """Registers read by this instruction."""
+        used = [op for op in self.ops if isinstance(op, VReg)]
+        used.extend(self.args)
+        if self.opcode == "cmov" and self.dst is not None:
+            used.append(self.dst)  # conditional move reads the destination
+        if self.opcode == "ret" and self.dst is not None:
+            pass
+        return used
+
+    def defs(self) -> List[VReg]:
+        return [self.dst] if self.dst is not None else []
+
+    def __repr__(self):
+        parts = [self.opcode]
+        if self.cond:
+            parts[0] += f".{self.cond}"
+        if self.dst is not None:
+            parts.append(repr(self.dst))
+        parts.extend(repr(o) if isinstance(o, VReg) else str(o) for o in self.ops)
+        if self.args:
+            parts.append("args=" + ",".join(map(repr, self.args)))
+        if self.regs:
+            parts.append("{" + ",".join(self.regs) + "}")
+        if self.cause:
+            parts.append(f"!{self.cause}")
+        return " ".join(parts)
+
+
+class MBlock:
+    """A machine basic block."""
+
+    def __init__(self, name: str, parent: Optional["MFunction"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[MInstr] = []
+
+    def append(self, instr: MInstr) -> MInstr:
+        self.instructions.append(instr)
+        instr.parent = self
+        return instr
+
+    def insert(self, index: int, instr: MInstr) -> MInstr:
+        self.instructions.insert(index, instr)
+        instr.parent = self
+        return instr
+
+    def successors(self) -> List["MBlock"]:
+        out: List[MBlock] = []
+        fn = self.parent
+        for instr in reversed(self.instructions):
+            if instr.opcode in ("b", "bcc"):
+                out.append(fn.block(instr.ops[0]))
+                continue
+            break
+        return out
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __repr__(self):
+        return f"<MBlock {self.name} ({len(self.instructions)})>"
+
+
+class MFunction:
+    """A machine function: blocks in layout order plus frame information."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.blocks: List[MBlock] = []
+        self._by_name: Dict[str, MBlock] = {}
+        self.slots: List[StackSlot] = []
+        self.frame_size = 0           # assigned at frame lowering
+        self.saved_regs: List[str] = []
+        self.saved_low: List[str] = []   # r4-r7 + lr (Thumb narrow push)
+        self.saved_high: List[str] = []  # r8-r11 (push.w group)
+        self.num_args = 0
+        self.makes_calls = False
+
+    def add_block(self, name: str) -> MBlock:
+        if name in self._by_name:
+            raise ValueError(f"duplicate machine block {name}")
+        block = MBlock(name, self)
+        self.blocks.append(block)
+        self._by_name[name] = block
+        return block
+
+    def block(self, name: str) -> MBlock:
+        return self._by_name[name]
+
+    def new_slot(self, size: int = 4, kind: str = "spill") -> StackSlot:
+        slot = StackSlot(len(self.slots), size, kind)
+        self.slots.append(slot)
+        return slot
+
+    def instructions(self) -> Iterable[MInstr]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __repr__(self):
+        return f"<MFunction {self.name} ({len(self.blocks)} blocks)>"
+
+
+class MModule:
+    """The machine program: functions plus global data layout."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.functions: Dict[str, MFunction] = {}
+        self.globals: Dict[str, object] = {}  # name -> ir GlobalVariable
+
+    def add_function(self, fn: MFunction) -> MFunction:
+        self.functions[fn.name] = fn
+        return fn
+
+    def __repr__(self):
+        return f"<MModule {self.name} ({len(self.functions)} functions)>"
+
+
+def mfunction_to_str(fn: MFunction) -> str:
+    lines = [f"{fn.name}:"]
+    for block in fn.blocks:
+        lines.append(f".{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"    {instr!r}")
+    return "\n".join(lines)

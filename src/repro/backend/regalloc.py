@@ -1,0 +1,309 @@
+"""Linear-scan register allocation with spilling.
+
+Allocatable registers are the callee-saved r4-r11; r0-r3/r12 stay
+reserved for argument passing and spill scratch.  Spilled vregs get a
+dedicated stack slot each — the paper's ``-no-stack-slot-sharing`` (§4.4):
+slots are never reused across values, so the only spill WARs left are
+re-executions of the same slot inside loops, which the spill checkpoint
+inserters then break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .mir import ALLOCATABLE, MFunction, MInstr, StackSlot, VReg
+
+
+class RegAllocError(Exception):
+    pass
+
+
+def _liveness(fn: MFunction) -> Tuple[Dict[str, Set[int]], Dict[str, Set[int]], Dict[int, VReg]]:
+    """Backward dataflow liveness over virtual registers.
+
+    Returns (live_in, live_out, vregs-by-id); pinned physical registers
+    are excluded.
+    """
+    use_sets: Dict[str, Set[int]] = {}
+    def_sets: Dict[str, Set[int]] = {}
+    vregs: Dict[int, VReg] = {}
+    for block in fn.blocks:
+        uses: Set[int] = set()
+        defs: Set[int] = set()
+        for instr in block.instructions:
+            for reg in instr.uses():
+                if reg.is_phys:
+                    continue
+                vregs[reg.id] = reg
+                if reg.id not in defs:
+                    uses.add(reg.id)
+            for reg in instr.defs():
+                if reg.is_phys:
+                    continue
+                vregs[reg.id] = reg
+                defs.add(reg.id)
+        use_sets[block.name] = uses
+        def_sets[block.name] = defs
+
+    live_in: Dict[str, Set[int]] = {b.name: set() for b in fn.blocks}
+    live_out: Dict[str, Set[int]] = {b.name: set() for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(fn.blocks):
+            out: Set[int] = set()
+            for succ in block.successors():
+                out |= live_in[succ.name]
+            new_in = use_sets[block.name] | (out - def_sets[block.name])
+            if out != live_out[block.name] or new_in != live_in[block.name]:
+                live_out[block.name] = out
+                live_in[block.name] = new_in
+                changed = True
+    return live_in, live_out, vregs
+
+
+def _build_intervals(fn: MFunction) -> Tuple[Dict[int, Tuple[int, int]], Dict[int, VReg]]:
+    """Conservative single-range live intervals over a linearised order."""
+    live_in, live_out, vregs = _liveness(fn)
+    start: Dict[int, int] = {}
+    end: Dict[int, int] = {}
+
+    def touch(reg_id: int, pos: int) -> None:
+        start[reg_id] = min(start.get(reg_id, pos), pos)
+        end[reg_id] = max(end.get(reg_id, pos), pos)
+
+    pos = 0
+    for block in fn.blocks:
+        block_start = pos
+        for instr in block.instructions:
+            for reg in instr.uses():
+                if not reg.is_phys:
+                    touch(reg.id, pos)
+            for reg in instr.defs():
+                if not reg.is_phys:
+                    touch(reg.id, pos)
+            pos += 1
+        block_end = max(block_start, pos - 1)
+        for reg_id in live_in[block.name]:
+            touch(reg_id, block_start)
+        for reg_id in live_out[block.name]:
+            touch(reg_id, block_end)
+    intervals = {rid: (start[rid], end[rid]) for rid in start}
+    return intervals, vregs
+
+
+#: caller-saved registers usable for live ranges that do not cross calls
+CALLER_POOL = ("r2", "r3")
+CALLEE_POOL = ALLOCATABLE
+
+
+def allocate_registers(fn: MFunction):
+    """Assign physical registers / spill slots to every vreg of ``fn``.
+
+    Live ranges that do not cross a call may additionally use the
+    caller-saved r2/r3 (as a production allocator would); call-crossing
+    ranges are restricted to the callee-saved pool.  Returns the spill
+    map (vreg id -> dedicated slot).  After this pass every register
+    operand is physical, except ``bl`` argument lists (resolved by call
+    expansion from ``vreg.phys``/the spill map).
+    """
+    intervals, vregs = _build_intervals(fn)
+
+    call_positions: List[int] = []
+    pos = 0
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if instr.opcode == "bl":
+                call_positions.append(pos)
+            pos += 1
+
+    import bisect
+
+    def crosses_call(start: int, end: int) -> bool:
+        i = bisect.bisect_right(call_positions, start)
+        return i < len(call_positions) and call_positions[i] < end
+
+    # The entry block starts with `mov vreg, rN` argument moves: r2/r3 are
+    # live-in there, so intervals starting inside that prefix must not
+    # take a caller-saved register (they would clobber an unread argument).
+    arg_prefix = 0
+    if fn.blocks:
+        for instr in fn.blocks[0].instructions:
+            if (
+                instr.opcode == "mov"
+                and instr.ops
+                and isinstance(instr.ops[0], VReg)
+                and instr.ops[0].is_phys
+            ):
+                arg_prefix += 1
+            else:
+                break
+
+    # Rematerialisation candidates: vregs with a single constant-like
+    # definition (immediate, global address, frame address).  Evicting
+    # one recomputes the value at each use instead of spilling — exactly
+    # what a production allocator does, and important here because a
+    # spilled constant would otherwise manufacture spill WARs.
+    def_instrs: Dict[int, List[MInstr]] = {}
+    for instr in fn.instructions():
+        if instr.dst is not None and not instr.dst.is_phys:
+            def_instrs.setdefault(instr.dst.id, []).append(instr)
+
+    def rematerialisable(reg_id: int):
+        defs = def_instrs.get(reg_id, [])
+        if len(defs) != 1:
+            return None
+        d = defs[0]
+        if d.opcode == "mov" and isinstance(d.ops[0], int):
+            return d
+        if d.opcode in ("adr", "lea"):
+            return d
+        return None
+
+    order = sorted(intervals.items(), key=lambda item: (item[1][0], item[1][1]))
+    free_callee: List[str] = list(CALLEE_POOL)
+    free_caller: List[str] = list(CALLER_POOL)
+    active: List[Tuple[int, int]] = []  # (end, reg_id) sorted by end
+    spills: Dict[int, StackSlot] = {}
+    remats: Dict[int, MInstr] = {}
+
+    def evict(reg_id: int) -> None:
+        template = rematerialisable(reg_id)
+        if template is not None:
+            remats[reg_id] = template
+        else:
+            spills[reg_id] = fn.new_slot(4, kind="spill")
+
+    def release(phys: str) -> None:
+        if phys in CALLER_POOL:
+            free_caller.append(phys)
+        else:
+            free_callee.append(phys)
+
+    for reg_id, (ival_start, ival_end) in order:
+        remaining: List[Tuple[int, int]] = []
+        for active_end, active_id in active:
+            if active_end < ival_start:
+                release(vregs[active_id].phys)
+            else:
+                remaining.append((active_end, active_id))
+        active = remaining
+        crossing = crosses_call(ival_start, ival_end) or ival_start < arg_prefix
+        phys = None
+        if not crossing and free_caller:
+            phys = free_caller.pop(0)
+        elif free_callee:
+            phys = free_callee.pop(0)
+        if phys is not None:
+            vregs[reg_id].phys = phys
+            active.append((ival_end, reg_id))
+            active.sort()
+            continue
+        # Evict a rematerialisable interval when one is live (cheap);
+        # otherwise spill the compatible interval that ends furthest
+        # (Poletto-Sarkar), falling back to spilling the current one.
+        compatible = [
+            entry for entry in active
+            if not (crossing and vregs[entry[1]].phys in CALLER_POOL)
+        ]
+        remat_entries = [e for e in compatible if rematerialisable(e[1]) is not None]
+        victim_entry = None
+        if remat_entries:
+            victim_entry = remat_entries[-1]
+        elif compatible and compatible[-1][0] > ival_end:
+            victim_entry = compatible[-1]
+        if victim_entry is not None:
+            active.remove(victim_entry)
+            victim = vregs[victim_entry[1]]
+            evict(victim_entry[1])
+            vregs[reg_id].phys = victim.phys
+            victim.phys = None
+            active.append((ival_end, reg_id))
+            active.sort()
+        else:
+            evict(reg_id)
+
+    _rewrite_spills(fn, spills, remats)
+    return spills, remats
+
+
+def _spilled(reg, spills: Dict[int, StackSlot]) -> bool:
+    return isinstance(reg, VReg) and not reg.is_phys and reg.id in spills
+
+
+def _rewrite_spills(
+    fn: MFunction,
+    spills: Dict[int, StackSlot],
+    remats: Dict[int, MInstr],
+) -> None:
+    """Insert reload/store (or rematerialisation) code around every
+    evicted operand.
+
+    Scratch registers: r0/r1 for uses, r12 for defs (loads, stores and
+    moves do not touch the flags, so this code is safe between cmp and
+    bcc/cmov).
+    """
+    if not spills and not remats:
+        return
+
+    def remat_into(template: MInstr, scratch: VReg) -> MInstr:
+        return MInstr(template.opcode, scratch, list(template.ops))
+
+    remat_defs = {id(t) for t in remats.values()}
+    for block in fn.blocks:
+        new_instrs: List[MInstr] = []
+        for instr in block.instructions:
+            if id(instr) in remat_defs:
+                continue  # the definition is recomputed at each use
+            if instr.opcode == "bl":
+                new_instrs.append(instr)
+                continue
+            before: List[MInstr] = []
+            after: List[MInstr] = []
+            scratch_pool = ["r0", "r1"]
+            replaced: Dict[int, VReg] = {}
+            for op_idx, op in enumerate(instr.ops):
+                if not (_spilled(op, spills) or _rematted(op, remats)):
+                    continue
+                if op.id in replaced:
+                    instr.ops[op_idx] = replaced[op.id]
+                    continue
+                if not scratch_pool:
+                    raise RegAllocError("out of spill scratch registers")
+                name = scratch_pool.pop(0)
+                scratch = VReg(name, phys=name)
+                if op.id in remats:
+                    before.append(remat_into(remats[op.id], scratch))
+                else:
+                    before.append(MInstr("ldr", scratch, [spills[op.id], 0]))
+                instr.ops[op_idx] = scratch
+                replaced[op.id] = scratch
+            if instr.dst is not None and _spilled(instr.dst, spills):
+                slot = spills[instr.dst.id]
+                scratch = VReg("r12", phys="r12")
+                if instr.opcode == "cmov":
+                    # conditional move reads its destination first
+                    before.append(MInstr("ldr", scratch, [slot, 0]))
+                instr.dst = scratch
+                after.append(MInstr("str", None, [scratch, slot, 0]))
+            new_instrs.extend(before)
+            new_instrs.append(instr)
+            new_instrs.extend(after)
+        block.instructions = new_instrs
+        for minstr in new_instrs:
+            minstr.parent = block
+
+
+def _rematted(reg, remats: Dict[int, MInstr]) -> bool:
+    return isinstance(reg, VReg) and not reg.is_phys and reg.id in remats
+
+
+def used_callee_saved(fn: MFunction) -> List[str]:
+    """Callee-saved registers the function actually touches."""
+    used: Set[str] = set()
+    for instr in fn.instructions():
+        for reg in instr.uses() + instr.defs():
+            if reg.phys in ALLOCATABLE:
+                used.add(reg.phys)
+    return sorted(used, key=lambda r: int(r[1:]))

@@ -1,0 +1,240 @@
+"""Back-end WAR protection for register-spill stack slots.
+
+After register allocation (with dedicated slots per spilled value), a WAR
+on a slot can only arise when a slot's reload (read) is followed — within
+an iteration or around a loop back edge — by the slot's store (write).
+
+Two inserters are provided (paper §3.1.3):
+
+* ``basic`` — Ratchet's scheme: a checkpoint immediately before every
+  offending spill store.
+* ``hitting-set`` — WARio's Hitting Set Stack Spill Checkpoint Inserter:
+  candidate positions per WAR plus the greedy minimum hitting set, so one
+  checkpoint covers the spill WARs that write clustering concentrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.instructions import CKPT_BACKEND
+from .mir import MBlock, MFunction, MInstr, StackSlot
+
+MODES = ("basic", "hitting-set")
+
+
+@dataclass
+class SlotAccess:
+    block: MBlock
+    index: int
+    instr: MInstr
+    slot: StackSlot
+    is_load: bool
+
+
+def _slot_accesses(fn: MFunction) -> List[SlotAccess]:
+    out: List[SlotAccess] = []
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            if instr.opcode.startswith("ldr"):
+                base = instr.ops[0]
+                if isinstance(base, StackSlot):
+                    out.append(SlotAccess(block, idx, instr, base, True))
+            elif instr.opcode.startswith("str"):
+                base = instr.ops[1]
+                if isinstance(base, StackSlot):
+                    out.append(SlotAccess(block, idx, instr, base, False))
+    return out
+
+
+def _reachability(fn: MFunction) -> Dict[str, Set[str]]:
+    succs = {b.name: [s.name for s in b.successors()] for b in fn.blocks}
+    reach: Dict[str, Set[str]] = {}
+    for block in fn.blocks:
+        seen: Set[str] = set()
+        stack = list(succs[block.name])
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(succs[name])
+        reach[block.name] = seen
+    return reach
+
+
+def _is_barrier(instr: MInstr, calls_are_checkpoints: bool) -> bool:
+    if instr.opcode == "checkpoint":
+        return True
+    return calls_are_checkpoints and instr.opcode == "bl"
+
+
+def _segment_has_barrier(instrs, calls_are_checkpoints: bool) -> bool:
+    return any(_is_barrier(i, calls_are_checkpoints) for i in instrs)
+
+
+@dataclass
+class SpillWAR:
+    load: SlotAccess
+    store: SlotAccess
+    kind: str  # 'forward' | 'backward'
+
+
+def find_spill_wars(fn: MFunction, calls_are_checkpoints: bool = True) -> List[SpillWAR]:
+    """The unresolved spill WARs of ``fn``, pruned to the Pareto frontier
+    (dominated pairs are implied by the kept ones, for both detection and
+    placement).
+
+    A WAR counts as resolved when an existing barrier (checkpoint, or a
+    call when entry checkpoints are in force) occupies one of its
+    candidate positions — i.e. it lies on every load->store path.
+    """
+    accesses = _slot_accesses(fn)
+    by_slot: Dict[int, Tuple[List[SlotAccess], List[SlotAccess]]] = {}
+    for access in accesses:
+        loads, stores = by_slot.setdefault(id(access.slot), ([], []))
+        (loads if access.is_load else stores).append(access)
+    reach = _reachability(fn)
+    pairs: List[SpillWAR] = []
+    for loads, stores in by_slot.values():
+        for load in loads:
+            for store in stores:
+                war = _classify(load, store, reach)
+                if war is not None:
+                    pairs.append(war)
+    pairs = _prune_dominated(pairs)
+    barrier_positions = {
+        (block.name, idx)
+        for block in fn.blocks
+        for idx, instr in enumerate(block.instructions)
+        if _is_barrier(instr, calls_are_checkpoints)
+    }
+    articulation_cache: Dict[Tuple[int, int], List] = {}
+    wars: List[SpillWAR] = []
+    for war in pairs:
+        candidates = _candidates(war, fn, articulation_cache)
+        if barrier_positions.isdisjoint(candidates):
+            wars.append(war)
+    return wars
+
+
+def _classify(load: SlotAccess, store: SlotAccess, reach) -> Optional[SpillWAR]:
+    if load.block is store.block:
+        if store.index > load.index:
+            return SpillWAR(load, store, "forward")
+        if load.block.name in reach[load.block.name]:  # block is in a cycle
+            return SpillWAR(load, store, "backward")
+        return None
+    if store.block.name in reach[load.block.name]:
+        return SpillWAR(load, store, "forward")
+    return None
+
+
+def _prune_dominated(wars: List[SpillWAR]) -> List[SpillWAR]:
+    """Keep only the Pareto frontier per (load block, store block, kind):
+    a later load with an earlier store yields a subset candidate set, so
+    hitting it hits the dominated pairs too."""
+    groups: Dict[Tuple[int, int, str], List[SpillWAR]] = {}
+    for war in wars:
+        key = (id(war.load.block), id(war.store.block), war.kind)
+        groups.setdefault(key, []).append(war)
+    kept: List[SpillWAR] = []
+    for group in groups.values():
+        if len(group) == 1:
+            kept.extend(group)
+            continue
+        indexed = sorted(
+            ((w.load.index, w.store.index, w) for w in group),
+            key=lambda t: (-t[0], t[1]),
+        )
+        best_sidx = None
+        for _lidx, sidx, war in indexed:
+            if best_sidx is None or sidx < best_sidx:
+                kept.append(war)
+                best_sidx = sidx
+    return kept
+
+
+def _candidates(war: SpillWAR, fn: MFunction, articulation_cache=None) -> List[Tuple[str, int]]:
+    load, store = war.load, war.store
+    positions: List[Tuple[str, int]] = []
+    if load.block is store.block and war.kind == "forward":
+        return [(load.block.name, j) for j in range(load.index + 1, store.index + 1)]
+    positions.extend(
+        (load.block.name, j)
+        for j in range(load.index + 1, _insertable_end(load.block) + 1)
+    )
+    positions.extend(
+        (store.block.name, j)
+        for j in range(0, store.index + 1)
+        if not (store.block is load.block and j > load.index)
+    )
+    from ..core.checkpoint_inserter import blocks_on_every_path
+
+    if articulation_cache is None:
+        articulation_cache = {}
+    cache_key = (id(load.block), id(store.block))
+    articulation = articulation_cache.get(cache_key)
+    if articulation is None:
+        articulation = blocks_on_every_path(
+            load.block, store.block, fn.blocks, lambda b: b.successors()
+        )
+        articulation_cache[cache_key] = articulation
+    for block in articulation:
+        positions.extend(
+            (block.name, j) for j in range(0, _insertable_end(block) + 1)
+        )
+    return positions
+
+
+def _insertable_end(block: MBlock) -> int:
+    """Last index at which a checkpoint can be inserted (before the
+    trailing branch group)."""
+    last = len(block.instructions)
+    while last > 0 and block.instructions[last - 1].opcode in ("b", "bcc", "bx_lr"):
+        last -= 1
+    return last
+
+
+def insert_spill_checkpoints(
+    fn: MFunction, mode: str = "hitting-set", calls_are_checkpoints: bool = True
+) -> int:
+    """Break all spill-slot WARs of ``fn``; returns checkpoints added."""
+    if mode not in MODES:
+        raise ValueError(f"unknown spill checkpoint mode {mode!r}")
+    wars = find_spill_wars(fn, calls_are_checkpoints)
+    if not wars:
+        return 0
+    if mode == "basic":
+        # Ratchet: checkpoint immediately before each offending store.
+        chosen: List[Tuple[str, int]] = []
+        seen: Set[Tuple[str, int]] = set()
+        for war in wars:
+            key = (war.store.block.name, war.store.index)
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
+    else:
+        # Local import: repro.core imports the backend for its pipeline.
+        from ..core.hitting_set import greedy_hitting_set
+
+        reach = _reachability(fn)
+        in_cycle = {b.name: b.name in reach[b.name] for b in fn.blocks}
+        preferred = {(war.store.block.name, war.store.index) for war in wars}
+        articulation_cache = {}
+        requirements = [_candidates(war, fn, articulation_cache) for war in wars]
+
+        def cost(key) -> float:
+            base = 10.0 if in_cycle[key[0]] else 1.0
+            return base * (0.999 if key in preferred else 1.0)
+
+        chosen = greedy_hitting_set(requirements, cost)
+    by_block: Dict[str, List[int]] = {}
+    for name, idx in chosen:
+        by_block.setdefault(name, []).append(idx)
+    for name, indices in by_block.items():
+        block = fn.block(name)
+        for idx in sorted(indices, reverse=True):
+            block.insert(idx, MInstr("checkpoint", cause=CKPT_BACKEND))
+    return len(chosen)

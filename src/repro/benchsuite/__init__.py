@@ -1,0 +1,59 @@
+"""repro.benchsuite — the paper's six benchmarks (§5.1.2), written in the
+mini-C dialect with pure-Python reference implementations:
+
+* ``coremark`` — CoreMark-like list/matrix/state-machine mix [16]
+* ``sha`` — MiBench SHA-1 [19]
+* ``crc`` — MiBench CRC-32 [19]
+* ``tiny-aes`` — Tiny AES-128 in C [43]
+* ``dijkstra`` — MiBench Dijkstra [19]
+* ``picojpeg`` — picojpeg-like baseline decoder [17]
+"""
+
+from . import aes, coremark, crc, dijkstra, picojpeg, sha
+from .common import (
+    Benchmark,
+    Output,
+    VerificationError,
+    compile_benchmark,
+    run_benchmark,
+    verify_outputs,
+)
+
+#: paper ordering (Figure 4)
+BENCHMARKS = {
+    bench.name: bench
+    for bench in (
+        coremark.BENCHMARK,
+        sha.BENCHMARK,
+        crc.BENCHMARK,
+        aes.BENCHMARK,
+        dijkstra.BENCHMARK,
+        picojpeg.BENCHMARK,
+    )
+}
+
+#: display names used in the paper's figures
+PAPER_NAMES = {
+    "coremark": "CoreMark",
+    "sha": "SHA",
+    "crc": "CRC",
+    "tiny-aes": "Tiny AES",
+    "dijkstra": "Dijkstra",
+    "picojpeg": "picojpeg",
+}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        ) from None
+
+
+__all__ = [
+    "BENCHMARKS", "PAPER_NAMES", "get_benchmark",
+    "Benchmark", "Output", "VerificationError",
+    "compile_benchmark", "run_benchmark", "verify_outputs",
+]

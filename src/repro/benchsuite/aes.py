@@ -1,0 +1,252 @@
+"""Tiny AES-128 (kokke/tiny-aes-c stand-in).
+
+Full AES-128 ECB encryption of 4 blocks, in place: key expansion plus the
+SubBytes / ShiftRows / MixColumns / AddRoundKey round functions operating
+on a caller-provided state pointer.  The in-place byte updates with
+constant offsets are exactly where Ratchet's object-granular aliasing
+drowns in bogus WARs while the PDG (R-PDG/WARio) sees only the real ones,
+and the 16-iteration round loops are prime Loop Write Clusterer targets
+(Tiny AES: -74.5% checkpoints vs Ratchet, Table 1).
+
+The Python reference is validated against the FIPS-197 test vector in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from .common import Benchmark, Output
+
+NUM_BLOCKS = 4
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+    0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+    0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+    0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+    0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+    0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+    0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+    0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+    0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+    0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+    0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+]
+_RCON = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+_SBOX_INIT = ",\n    ".join(
+    ", ".join(f"0x{v:02X}" for v in _SBOX[i : i + 16]) for i in range(0, 256, 16)
+)
+_RCON_INIT = ", ".join(f"0x{v:02X}" for v in _RCON)
+
+SOURCE = (
+    """
+const unsigned char sbox[256] = {
+    """
+    + _SBOX_INIT
+    + """
+};
+const unsigned char rcon[11] = { """
+    + _RCON_INIT
+    + """ };
+
+unsigned char key[16];
+unsigned char rk[176];
+unsigned char buf[64];
+unsigned int blocks_done;
+
+unsigned char xtime(unsigned char x) {
+    return (unsigned char)((x << 1) ^ (((x >> 7) & 1) * 0x1B));
+}
+
+void key_expansion(void) {
+    int i;
+    unsigned char t0, t1, t2, t3, tmp;
+    for (i = 0; i < 16; i++) {
+        rk[i] = key[i];
+    }
+    for (i = 4; i < 44; i++) {
+        t0 = rk[(i - 1) * 4];
+        t1 = rk[(i - 1) * 4 + 1];
+        t2 = rk[(i - 1) * 4 + 2];
+        t3 = rk[(i - 1) * 4 + 3];
+        if ((i & 3) == 0) {
+            tmp = t0;
+            t0 = sbox[t1] ^ rcon[i / 4];
+            t1 = sbox[t2];
+            t2 = sbox[t3];
+            t3 = sbox[tmp];
+        }
+        rk[i * 4] = rk[(i - 4) * 4] ^ t0;
+        rk[i * 4 + 1] = rk[(i - 4) * 4 + 1] ^ t1;
+        rk[i * 4 + 2] = rk[(i - 4) * 4 + 2] ^ t2;
+        rk[i * 4 + 3] = rk[(i - 4) * 4 + 3] ^ t3;
+    }
+}
+
+void add_round_key(unsigned char *state, int round) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        state[i] = state[i] ^ rk[round * 16 + i];
+    }
+}
+
+void sub_bytes(unsigned char *state) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        state[i] = sbox[state[i]];
+    }
+}
+
+void shift_rows(unsigned char *state) {
+    unsigned char t;
+    t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    t = state[2];
+    state[2] = state[10];
+    state[10] = t;
+    t = state[6];
+    state[6] = state[14];
+    state[14] = t;
+    t = state[3];
+    state[3] = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = t;
+}
+
+void mix_columns(unsigned char *state) {
+    int c;
+    unsigned char a0, a1, a2, a3;
+    for (c = 0; c < 4; c++) {
+        a0 = state[c * 4];
+        a1 = state[c * 4 + 1];
+        a2 = state[c * 4 + 2];
+        a3 = state[c * 4 + 3];
+        state[c * 4] = (unsigned char)(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+        state[c * 4 + 1] = (unsigned char)(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+        state[c * 4 + 2] = (unsigned char)(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+        state[c * 4 + 3] = (unsigned char)((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+    }
+}
+
+void cipher(unsigned char *state) {
+    int round;
+    add_round_key(state, 0);
+    for (round = 1; round < 10; round++) {
+        sub_bytes(state);
+        shift_rows(state);
+        mix_columns(state);
+        add_round_key(state, round);
+    }
+    sub_bytes(state);
+    shift_rows(state);
+    add_round_key(state, 10);
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        key[i] = (unsigned char)(i * 5 + 1);
+    }
+    for (i = 0; i < 64; i++) {
+        buf[i] = (unsigned char)(i * 11 + 3);
+    }
+    key_expansion();
+    for (i = 0; i < 4; i++) {
+        cipher(buf + i * 16);
+        blocks_done = blocks_done + 1;
+    }
+    return 0;
+}
+"""
+)
+
+
+def _xtime(x):
+    return ((x << 1) ^ ((x >> 7) * 0x1B)) & 0xFF
+
+
+def expand_key(key):
+    """AES-128 key schedule -> 176 round-key bytes."""
+    rk = list(key)
+    for i in range(4, 44):
+        t = rk[(i - 1) * 4 : i * 4]
+        if i % 4 == 0:
+            t = [
+                _SBOX[t[1]] ^ _RCON[i // 4],
+                _SBOX[t[2]],
+                _SBOX[t[3]],
+                _SBOX[t[0]],
+            ]
+        rk.extend(rk[(i - 4) * 4 + j] ^ t[j] for j in range(4))
+    return rk
+
+
+def encrypt_block(block, rk):
+    """AES-128 encryption of one 16-byte block (column-major state)."""
+    state = list(block)
+
+    def add_round_key(rnd):
+        for i in range(16):
+            state[i] ^= rk[rnd * 16 + i]
+
+    def sub_bytes():
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    def shift_rows():
+        s = state
+        s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+        s[2], s[10] = s[10], s[2]
+        s[6], s[14] = s[14], s[6]
+        s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+
+    def mix_columns():
+        for c in range(4):
+            a = state[c * 4 : c * 4 + 4]
+            state[c * 4] = _xtime(a[0]) ^ (_xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3]
+            state[c * 4 + 1] = a[0] ^ _xtime(a[1]) ^ (_xtime(a[2]) ^ a[2]) ^ a[3]
+            state[c * 4 + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ (_xtime(a[3]) ^ a[3])
+            state[c * 4 + 3] = (_xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ _xtime(a[3])
+
+    add_round_key(0)
+    for rnd in range(1, 10):
+        sub_bytes()
+        shift_rows()
+        mix_columns()
+        add_round_key(rnd)
+    sub_bytes()
+    shift_rows()
+    add_round_key(10)
+    return state
+
+
+def reference():
+    key = [(i * 5 + 1) & 0xFF for i in range(16)]
+    buf = [(i * 11 + 3) & 0xFF for i in range(64)]
+    rk = expand_key(key)
+    out = []
+    for b in range(NUM_BLOCKS):
+        out.extend(encrypt_block(buf[b * 16 : (b + 1) * 16], rk))
+    return {"buf": out, "blocks_done": NUM_BLOCKS, "rk": rk}
+
+
+BENCHMARK = Benchmark(
+    name="tiny-aes",
+    source=SOURCE,
+    outputs=[
+        Output("buf", count=64, size=1),
+        Output("rk", count=176, size=1),
+        Output("blocks_done"),
+    ],
+    reference=reference,
+    description="AES-128 ECB encryption of 4 blocks, tiny-AES style",
+)

@@ -1,0 +1,228 @@
+"""CoreMark-like workload (EEMBC CoreMark stand-in).
+
+The three CoreMark kernels, scaled to MCU size: linked-list processing
+(an index-linked list that is repeatedly reversed and searched), matrix
+manipulation (in-place scale/add over a 10x10 matrix), and a state
+machine scanning a byte stream and bumping per-state counters.  Results
+are folded into a running checksum, as CoreMark does with its CRC.
+"""
+
+from __future__ import annotations
+
+from .common import Benchmark, Output
+
+LIST_LEN = 32
+MAT_N = 10
+SM_LEN = 192
+REPEAT = 3
+
+SOURCE = r"""
+int list_next[32];
+int list_val[32];
+int mat[100];
+unsigned char sm_input[192];
+unsigned int sm_counts[8];
+unsigned int checksum;
+
+void list_init(void) {
+    int i;
+    for (i = 0; i < 32; i++) {
+        list_next[i] = (i == 31) ? (0 - 1) : (i + 1);
+        list_val[i] = (i * i) ^ 0x5A;
+    }
+}
+
+int list_reverse(int *next, int head) {
+    int prev, cur, nxt;
+    prev = 0 - 1;
+    cur = head;
+    while (cur >= 0) {
+        nxt = next[cur];
+        next[cur] = prev;
+        prev = cur;
+        cur = nxt;
+    }
+    return prev;
+}
+
+int list_find(int *next, int *values, int head, int target) {
+    int cur = head;
+    while (cur >= 0) {
+        if (values[cur] == target) {
+            return cur;
+        }
+        cur = next[cur];
+    }
+    return 0 - 1;
+}
+
+void matrix_init(int *m) {
+    int i;
+    for (i = 0; i < 100; i++) {
+        m[i] = i % 17;
+    }
+}
+
+void matrix_scale_add(int *m, int c, int b) {
+    int i;
+    for (i = 0; i < 100; i++) {
+        m[i] = m[i] * c + b;
+    }
+}
+
+unsigned int matrix_sum(int *m) {
+    int i;
+    unsigned int s = 0;
+    for (i = 0; i < 100; i++) {
+        s = s + (unsigned int)m[i];
+    }
+    return s;
+}
+
+void sm_init(void) {
+    int i;
+    unsigned int x = 88172645;
+    for (i = 0; i < 192; i++) {
+        x = x ^ (x << 13);
+        x = x ^ (x >> 17);
+        x = x ^ (x << 5);
+        sm_input[i] = (unsigned char)(x & 0xFF);
+    }
+}
+
+void sm_run(void) {
+    int i, state;
+    unsigned char ch;
+    state = 0;
+    for (i = 0; i < 192; i++) {
+        ch = sm_input[i];
+        if (ch < 32) {
+            state = 0;
+        } else if (ch < 64) {
+            state = (state + 1) & 7;
+        } else if (ch < 128) {
+            state = (state + 3) & 7;
+        } else if (ch < 192) {
+            state = (state * 2 + 1) & 7;
+        } else {
+            state = 7 - state;
+        }
+        sm_counts[state] = sm_counts[state] + 1;
+    }
+}
+
+unsigned int mix(unsigned int crc, unsigned int v) {
+    crc = crc ^ v;
+    crc = (crc >> 3) | (crc << 29);
+    crc = crc * 2654435761;
+    return crc;
+}
+
+int main(void) {
+    int r, head, found;
+    unsigned int crc = 0xDEADBEEF;
+    int i;
+    list_init();
+    matrix_init(mat);
+    sm_init();
+    for (r = 0; r < 3; r++) {
+        head = list_reverse(list_next, (r & 1) ? 0 : ((r == 0) ? 0 : 31));
+        found = list_find(list_next, list_val, head, ((7 + r) * (7 + r)) ^ 0x5A);
+        crc = mix(crc, (unsigned int)(head + 1));
+        crc = mix(crc, (unsigned int)(found + 1));
+        matrix_scale_add(mat, 3, r + 1);
+        crc = mix(crc, matrix_sum(mat));
+        sm_run();
+    }
+    for (i = 0; i < 8; i++) {
+        crc = mix(crc, sm_counts[i]);
+    }
+    checksum = crc;
+    return 0;
+}
+"""
+
+M32 = 0xFFFFFFFF
+
+
+def reference():
+    list_next = [(-1 if i == 31 else i + 1) for i in range(LIST_LEN)]
+    list_val = [((i * i) ^ 0x5A) for i in range(LIST_LEN)]
+    mat = [i % 17 for i in range(MAT_N * MAT_N)]
+    x = 88172645
+    sm_input = []
+    for _ in range(SM_LEN):
+        x = (x ^ (x << 13)) & M32
+        x = (x ^ (x >> 17)) & M32
+        x = (x ^ (x << 5)) & M32
+        sm_input.append(x & 0xFF)
+    sm_counts = [0] * 8
+
+    def list_reverse(head):
+        prev, cur = -1, head
+        while cur >= 0:
+            nxt = list_next[cur]
+            list_next[cur] = prev
+            prev, cur = cur, nxt
+        return prev
+
+    def list_find(head, target):
+        cur = head
+        while cur >= 0:
+            if list_val[cur] == target:
+                return cur
+            cur = list_next[cur]
+        return -1
+
+    def sm_run():
+        state = 0
+        for ch in sm_input:
+            if ch < 32:
+                state = 0
+            elif ch < 64:
+                state = (state + 1) & 7
+            elif ch < 128:
+                state = (state + 3) & 7
+            elif ch < 192:
+                state = (state * 2 + 1) & 7
+            else:
+                state = 7 - state
+            sm_counts[state] += 1
+
+    def mix(crc, v):
+        crc = (crc ^ v) & M32
+        crc = ((crc >> 3) | (crc << 29)) & M32
+        crc = (crc * 2654435761) & M32
+        return crc
+
+    crc = 0xDEADBEEF
+    for r in range(REPEAT):
+        head = list_reverse(0 if (r & 1) else (0 if r == 0 else 31))
+        found = list_find(head, ((7 + r) * (7 + r)) ^ 0x5A)
+        crc = mix(crc, (head + 1) & M32)
+        crc = mix(crc, (found + 1) & M32)
+        for i in range(MAT_N * MAT_N):
+            mat[i] = mat[i] * 3 + (r + 1)
+        total = sum(mat) & M32
+        crc = mix(crc, total)
+        sm_run()
+    for i in range(8):
+        crc = mix(crc, sm_counts[i])
+    return {
+        "checksum": crc,
+        "sm_counts": sm_counts,
+        "list_next": list_next,
+    }
+
+
+BENCHMARK = Benchmark(
+    name="coremark",
+    source=SOURCE,
+    outputs=[
+        Output("checksum"),
+        Output("sm_counts", count=8),
+        Output("list_next", count=LIST_LEN, signed=True),
+    ],
+    reference=reference,
+    description="CoreMark-like list/matrix/state-machine mix with checksum",
+)

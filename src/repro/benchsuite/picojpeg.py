@@ -1,0 +1,274 @@
+"""picojpeg-like baseline decoder (richgel999/picojpeg stand-in).
+
+A scaled-down JPEG-style decode pipeline over an embedded compressed
+stream: a bit-reader with global state (the picojpeg ``getBits`` path,
+whose bit-buffer updates are scalar-global WARs on every call), run-length
+coefficient decoding through the zig-zag order, in-place dequantisation,
+and an in-place integer butterfly transform (IDCT stand-in) over each
+8x8 block, followed by clamping to 8-bit pixels.
+
+The stream is generated (seeded) in Python and embedded as an
+initializer, the way picojpeg's test images are baked into flash.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import Benchmark, Output
+
+NUM_BLOCKS = 6
+SEED = 0x9E3779B9
+
+_ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+
+def _make_stream():
+    """Encode NUM_BLOCKS blocks of (4-bit run, 8-bit level) pairs; a pair
+    with run 15 and level 0 terminates a block."""
+    rng = random.Random(SEED)
+    bits = []
+
+    def put(value, n):
+        for shift in range(n - 1, -1, -1):
+            bits.append((value >> shift) & 1)
+
+    for _ in range(NUM_BLOCKS):
+        pos = 0
+        put(0, 4)  # DC run = 0
+        put(rng.randrange(60, 196), 8)  # DC level
+        pos = 1
+        while pos < 64:
+            run = rng.randrange(0, 8)
+            if pos + run >= 64 or rng.random() < 0.18:
+                break
+            pos += run
+            level = rng.randrange(0, 256)
+            if level == 128:
+                level = 129
+            put(run, 4)
+            put(level, 8)
+            pos += 1
+        put(15, 4)
+        put(0, 8)
+    while len(bits) % 8:
+        bits.append(0)
+    stream = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for b in bits[i : i + 8]:
+            byte = (byte << 1) | b
+        stream.append(byte)
+    return bytes(stream)
+
+
+_STREAM = _make_stream()
+_STREAM_INIT = ",\n    ".join(
+    ", ".join(str(b) for b in _STREAM[i : i + 16]) for i in range(0, len(_STREAM), 16)
+)
+_ZZ_INIT = ", ".join(str(v) for v in _ZIGZAG)
+_Q_INIT = ", ".join(str(v) for v in _QUANT)
+
+SOURCE = (
+    f"""
+const unsigned char stream[{len(_STREAM)}] = {{
+    {_STREAM_INIT}
+}};
+const unsigned char zigzag[64] = {{ {_ZZ_INIT} }};
+const unsigned char quant[64] = {{ {_Q_INIT} }};
+"""
+    + r"""
+unsigned int stream_pos;
+unsigned int bit_buf;
+unsigned int bit_cnt;
+int coef[64];
+unsigned char pixels[384];
+unsigned int blocks_decoded;
+
+unsigned int get_bits(int n) {
+    unsigned int v;
+    while (bit_cnt < (unsigned int)n) {
+        bit_buf = (bit_buf << 8) | stream[stream_pos];
+        stream_pos = stream_pos + 1;
+        bit_cnt = bit_cnt + 8;
+    }
+    bit_cnt = bit_cnt - (unsigned int)n;
+    v = (bit_buf >> bit_cnt) & ((1 << n) - 1);
+    return v;
+}
+
+void decode_coefficients(int *c) {
+    int i, run, level;
+    for (i = 0; i < 64; i++) {
+        c[i] = 0;
+    }
+    i = 0;
+    while (i < 64) {
+        run = (int)get_bits(4);
+        level = (int)get_bits(8);
+        if (run == 15 && level == 0) {
+            break;
+        }
+        i = i + run;
+        if (i >= 64) {
+            break;
+        }
+        c[zigzag[i]] = level - 128;
+        i = i + 1;
+    }
+}
+
+void dequantize(int *c) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        c[i] = c[i] * (int)quant[i];
+    }
+}
+
+void butterfly_rows(int *c) {
+    int r, s0, s1, s2, s3, s4, s5, s6, s7;
+    for (r = 0; r < 8; r++) {
+        s0 = c[r * 8];
+        s1 = c[r * 8 + 1];
+        s2 = c[r * 8 + 2];
+        s3 = c[r * 8 + 3];
+        s4 = c[r * 8 + 4];
+        s5 = c[r * 8 + 5];
+        s6 = c[r * 8 + 6];
+        s7 = c[r * 8 + 7];
+        c[r * 8] = s0 + s4 + ((s2 + s6) >> 1);
+        c[r * 8 + 1] = s1 + s5 + ((s3 + s7) >> 1);
+        c[r * 8 + 2] = s0 - s4 + ((s2 - s6) >> 1);
+        c[r * 8 + 3] = s1 - s5 + ((s3 - s7) >> 1);
+        c[r * 8 + 4] = s0 + s4 - ((s2 + s6) >> 1);
+        c[r * 8 + 5] = s1 + s5 - ((s3 + s7) >> 1);
+        c[r * 8 + 6] = s0 - s4 - ((s2 - s6) >> 1);
+        c[r * 8 + 7] = s1 - s5 - ((s3 - s7) >> 1);
+    }
+}
+
+void butterfly_cols(int *co) {
+    int c, s0, s1, s2, s3, s4, s5, s6, s7;
+    for (c = 0; c < 8; c++) {
+        s0 = co[c];
+        s1 = co[c + 8];
+        s2 = co[c + 16];
+        s3 = co[c + 24];
+        s4 = co[c + 32];
+        s5 = co[c + 40];
+        s6 = co[c + 48];
+        s7 = co[c + 56];
+        co[c] = s0 + s4 + ((s1 + s5) >> 2);
+        co[c + 8] = s0 - s4 + ((s1 - s5) >> 2);
+        co[c + 16] = s2 + s6 + ((s3 + s7) >> 2);
+        co[c + 24] = s2 - s6 + ((s3 - s7) >> 2);
+        co[c + 32] = s0 + s4 - ((s1 + s5) >> 2);
+        co[c + 40] = s0 - s4 - ((s1 - s5) >> 2);
+        co[c + 48] = s2 + s6 - ((s3 + s7) >> 2);
+        co[c + 56] = s2 - s6 - ((s3 - s7) >> 2);
+    }
+}
+
+void emit_pixels(int *c, unsigned char *out) {
+    int i, v;
+    for (i = 0; i < 64; i++) {
+        v = (c[i] >> 5) + 128;
+        if (v < 0) {
+            v = 0;
+        }
+        if (v > 255) {
+            v = 255;
+        }
+        out[i] = (unsigned char)v;
+    }
+}
+
+int main(void) {
+    int b;
+    for (b = 0; b < 6; b++) {
+        decode_coefficients(coef);
+        dequantize(coef);
+        butterfly_rows(coef);
+        butterfly_cols(coef);
+        emit_pixels(coef, pixels + b * 64);
+        blocks_decoded = blocks_decoded + 1;
+    }
+    return 0;
+}
+"""
+)
+
+
+def reference():
+    stream = _STREAM
+    pos = [0]
+    buf = [0]
+    cnt = [0]
+
+    def get_bits(n):
+        while cnt[0] < n:
+            buf[0] = ((buf[0] << 8) | stream[pos[0]]) & 0xFFFFFFFF
+            pos[0] += 1
+            cnt[0] += 8
+        cnt[0] -= n
+        return (buf[0] >> cnt[0]) & ((1 << n) - 1)
+
+    pixels = []
+    for _block in range(NUM_BLOCKS):
+        coef = [0] * 64
+        i = 0
+        while i < 64:
+            run = get_bits(4)
+            level = get_bits(8)
+            if run == 15 and level == 0:
+                break
+            i += run
+            if i >= 64:
+                break
+            coef[_ZIGZAG[i]] = level - 128
+            i += 1
+        coef = [c * q for c, q in zip(coef, _QUANT)]
+        for r in range(8):
+            s = coef[r * 8 : r * 8 + 8]
+            coef[r * 8] = s[0] + s[4] + ((s[2] + s[6]) >> 1)
+            coef[r * 8 + 1] = s[1] + s[5] + ((s[3] + s[7]) >> 1)
+            coef[r * 8 + 2] = s[0] - s[4] + ((s[2] - s[6]) >> 1)
+            coef[r * 8 + 3] = s[1] - s[5] + ((s[3] - s[7]) >> 1)
+            coef[r * 8 + 4] = s[0] + s[4] - ((s[2] + s[6]) >> 1)
+            coef[r * 8 + 5] = s[1] + s[5] - ((s[3] + s[7]) >> 1)
+            coef[r * 8 + 6] = s[0] - s[4] - ((s[2] - s[6]) >> 1)
+            coef[r * 8 + 7] = s[1] - s[5] - ((s[3] - s[7]) >> 1)
+        for c in range(8):
+            s = [coef[c + 8 * k] for k in range(8)]
+            coef[c] = s[0] + s[4] + ((s[1] + s[5]) >> 2)
+            coef[c + 8] = s[0] - s[4] + ((s[1] - s[5]) >> 2)
+            coef[c + 16] = s[2] + s[6] + ((s[3] + s[7]) >> 2)
+            coef[c + 24] = s[2] - s[6] + ((s[3] - s[7]) >> 2)
+            coef[c + 32] = s[0] + s[4] - ((s[1] + s[5]) >> 2)
+            coef[c + 40] = s[0] - s[4] - ((s[1] - s[5]) >> 2)
+            coef[c + 48] = s[2] + s[6] - ((s[3] + s[7]) >> 2)
+            coef[c + 56] = s[2] - s[6] - ((s[3] - s[7]) >> 2)
+        for v in coef:
+            v = (v >> 5) + 128
+            pixels.append(max(0, min(255, v)))
+    return {"pixels": pixels, "blocks_decoded": NUM_BLOCKS}
+
+
+BENCHMARK = Benchmark(
+    name="picojpeg",
+    source=SOURCE,
+    outputs=[Output("pixels", count=NUM_BLOCKS * 64, size=1), Output("blocks_decoded")],
+    reference=reference,
+    description="picojpeg-like RLE + dequant + butterfly transform decoder",
+)

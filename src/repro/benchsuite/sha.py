@@ -1,0 +1,155 @@
+"""SHA-1 (MiBench `sha` stand-in).
+
+Full SHA-1 over 512 bytes (8 x 64-byte blocks): message-schedule
+expansion into ``W[80]``, the 80-round compression, and digest updates.
+The schedule loop (``W[t] = rol(W[t-3]^W[t-8]^W[t-14]^W[t-16], 1)``) is
+the paper's best case for the Loop Write Clusterer: one loop-carried WAR
+per iteration, all clusterable (SHA shows ~-88% checkpoints vs Ratchet,
+Table 1).
+"""
+
+from __future__ import annotations
+
+from .common import Benchmark, Output
+
+NUM_BLOCKS = 8
+DATA_LEN = NUM_BLOCKS * 64
+
+SOURCE = r"""
+unsigned int H[5];
+unsigned int W[80];
+unsigned char data[512];
+unsigned int digest[5];
+
+void make_data(void) {
+    int i;
+    unsigned int x = 2463534242;
+    for (i = 0; i < 512; i++) {
+        x = x ^ (x << 13);
+        x = x ^ (x >> 17);
+        x = x ^ (x << 5);
+        data[i] = (unsigned char)(x & 0xFF);
+    }
+}
+
+unsigned int rol(unsigned int x, int s) {
+    return (x << s) | (x >> (32 - s));
+}
+
+void sha_transform(unsigned char *chunk) {
+    int t;
+    unsigned int a, b, c, d, e, tmp;
+    for (t = 0; t < 16; t++) {
+        W[t] = ((unsigned int)chunk[t * 4] << 24)
+             | ((unsigned int)chunk[t * 4 + 1] << 16)
+             | ((unsigned int)chunk[t * 4 + 2] << 8)
+             | (unsigned int)chunk[t * 4 + 3];
+    }
+    for (t = 16; t < 80; t++) {
+        W[t] = rol(W[t - 3] ^ W[t - 8] ^ W[t - 14] ^ W[t - 16], 1);
+    }
+    a = H[0];
+    b = H[1];
+    c = H[2];
+    d = H[3];
+    e = H[4];
+    for (t = 0; t < 20; t++) {
+        tmp = rol(a, 5) + ((b & c) | ((~b) & d)) + e + 0x5A827999 + W[t];
+        e = d; d = c; c = rol(b, 30); b = a; a = tmp;
+    }
+    for (t = 20; t < 40; t++) {
+        tmp = rol(a, 5) + (b ^ c ^ d) + e + 0x6ED9EBA1 + W[t];
+        e = d; d = c; c = rol(b, 30); b = a; a = tmp;
+    }
+    for (t = 40; t < 60; t++) {
+        tmp = rol(a, 5) + ((b & c) | (b & d) | (c & d)) + e + 0x8F1BBCDC + W[t];
+        e = d; d = c; c = rol(b, 30); b = a; a = tmp;
+    }
+    for (t = 60; t < 80; t++) {
+        tmp = rol(a, 5) + (b ^ c ^ d) + e + 0xCA62C1D6 + W[t];
+        e = d; d = c; c = rol(b, 30); b = a; a = tmp;
+    }
+    H[0] = H[0] + a;
+    H[1] = H[1] + b;
+    H[2] = H[2] + c;
+    H[3] = H[3] + d;
+    H[4] = H[4] + e;
+}
+
+int main(void) {
+    int i;
+    make_data();
+    H[0] = 0x67452301;
+    H[1] = 0xEFCDAB89;
+    H[2] = 0x98BADCFE;
+    H[3] = 0x10325476;
+    H[4] = 0xC3D2E1F0;
+    for (i = 0; i < 8; i++) {
+        sha_transform(data + i * 64);
+    }
+    for (i = 0; i < 5; i++) {
+        digest[i] = H[i];
+    }
+    return 0;
+}
+"""
+
+M32 = 0xFFFFFFFF
+
+
+def _rol(x, s):
+    return ((x << s) | (x >> (32 - s))) & M32
+
+
+def _make_data():
+    data = []
+    x = 2463534242
+    for _ in range(DATA_LEN):
+        x = (x ^ (x << 13)) & M32
+        x = (x ^ (x >> 17)) & M32
+        x = (x ^ (x << 5)) & M32
+        data.append(x & 0xFF)
+    return data
+
+
+def reference():
+    data = _make_data()
+    h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    for block in range(NUM_BLOCKS):
+        chunk = data[block * 64 : (block + 1) * 64]
+        w = [0] * 80
+        for t in range(16):
+            w[t] = (
+                (chunk[t * 4] << 24)
+                | (chunk[t * 4 + 1] << 16)
+                | (chunk[t * 4 + 2] << 8)
+                | chunk[t * 4 + 3]
+            )
+        for t in range(16, 80):
+            w[t] = _rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1)
+        a, b, c, d, e = h
+        for t in range(80):
+            if t < 20:
+                f, k = (b & c) | ((~b & M32) & d), 0x5A827999
+            elif t < 40:
+                f, k = b ^ c ^ d, 0x6ED9EBA1
+            elif t < 60:
+                f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+            else:
+                f, k = b ^ c ^ d, 0xCA62C1D6
+            tmp = (_rol(a, 5) + (f & M32) + e + k + w[t]) & M32
+            e, d, c, b, a = d, c, _rol(b, 30), a, tmp
+        h = [
+            (h[0] + a) & M32, (h[1] + b) & M32, (h[2] + c) & M32,
+            (h[3] + d) & M32, (h[4] + e) & M32,
+        ]
+    return {"digest": h, "data": data}
+
+
+BENCHMARK = Benchmark(
+    name="sha",
+    source=SOURCE,
+    outputs=[Output("digest", count=5), Output("data", count=DATA_LEN, size=1)],
+    reference=reference,
+    description="SHA-1 over 512 bytes (8 blocks), MiBench-style",
+)

@@ -1,0 +1,41 @@
+"""repro.core — WARio itself: the paper's compiler transformations and
+the ``iclang`` driver that orchestrates them (paper §3/§4)."""
+
+from .checkpoint_inserter import (
+    insert_checkpoints,
+    insert_function_checkpoints,
+    war_candidate_positions,
+)
+from .expander import expand
+from .hitting_set import greedy_hitting_set
+from .loop_write_clusterer import (
+    DEFAULT_UNROLL_FACTOR,
+    ClusterReport,
+    cluster_loop_writes,
+    is_candidate,
+)
+from .profiling import collect_call_profile, iclang_pgo, profile_guided_expand
+from .region_bound import bound_region_sizes
+from .pipeline import (
+    ENVIRONMENTS,
+    EnvironmentConfig,
+    compile_ir,
+    environment,
+    iclang,
+    run_middle_end,
+)
+from .write_clusterer import cluster_writes
+
+__all__ = [
+    "insert_checkpoints", "insert_function_checkpoints",
+    "war_candidate_positions",
+    "expand",
+    "greedy_hitting_set",
+    "cluster_loop_writes", "ClusterReport", "is_candidate",
+    "DEFAULT_UNROLL_FACTOR",
+    "cluster_writes",
+    "collect_call_profile", "iclang_pgo", "profile_guided_expand",
+    "bound_region_sizes",
+    "iclang", "compile_ir", "run_middle_end",
+    "ENVIRONMENTS", "EnvironmentConfig", "environment",
+]

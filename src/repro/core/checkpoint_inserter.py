@@ -1,0 +1,290 @@
+"""The PDG Checkpoint Inserter (paper §3.1.2).
+
+For every remaining WAR violation, compute the set of positions that
+break it (a checkpoint anywhere strictly after the read and before the
+write, on every read->write path), weight positions by loop depth, and
+run the greedy minimum hitting set.  Because the Write Clusterer passes
+have moved WAR writes next to each other, overlapping candidate sets let
+one checkpoint resolve many WARs — the mechanism behind WARio's
+checkpoint reduction.
+
+Positions are keyed by (block name, index) so placement is fully
+deterministic; among equal-coverage-per-cost candidates the position
+directly before a WAR write wins (Ratchet's natural location, usually
+the most rarely executed choice when the write is guarded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..analysis import AliasAnalysis, WARViolation, find_wars, loop_info
+from ..analysis.memdep import FORWARD
+from ..ir.instructions import CKPT_MIDDLE_END, Checkpoint
+from .hitting_set import greedy_hitting_set
+
+
+def insert_checkpoints(module, alias_mode: str = "precise") -> int:
+    """Break every WAR violation in every function; returns the number of
+    checkpoints inserted."""
+    from ..analysis.pointsto import compute_points_to
+
+    points_to = compute_points_to(module)
+    total = 0
+    for function in module.defined_functions():
+        total += insert_function_checkpoints(function, alias_mode, points_to)
+    return total
+
+
+def insert_function_checkpoints(function, alias_mode: str = "precise", points_to=None) -> int:
+    aa = AliasAnalysis(function, alias_mode, points_to=points_to)
+    li = loop_info(function)
+    wars = find_wars(function, aa, li, calls_are_checkpoints=True)
+    if not wars:
+        return 0
+    wars = prune_dominated_wars(wars)
+    articulation_cache: Dict[Tuple[int, int], List] = {}
+    requirements = [
+        war_candidate_positions(war, function, articulation_cache) for war in wars
+    ]
+
+    blocks_by_name = {b.name: b for b in function.blocks}
+    depth_cache: Dict[str, int] = {}
+    # Prefer the position directly before each WAR write on ties.
+    preferred: Set[Tuple[str, int]] = set()
+    for war in wars:
+        sblock = war.store.parent
+        preferred.add((sblock.name, sblock.index_of(war.store)))
+
+    def cost(key) -> float:
+        block_name, _idx = key
+        if block_name not in depth_cache:
+            depth_cache[block_name] = li.depth_of(blocks_by_name[block_name])
+        base = float(10 ** depth_cache[block_name])
+        return base * (0.999 if key in preferred else 1.0)
+
+    chosen = greedy_hitting_set(requirements, cost)
+    _insert_at(function, chosen, blocks_by_name)
+    return len(chosen)
+
+
+def prune_dominated_wars(wars: List[WARViolation]) -> List[WARViolation]:
+    """Drop WARs whose candidate sets are supersets of another WAR's.
+
+    For two WARs with the same (load block, store block, kind), the
+    candidate positions are purely positional: a later load and an
+    earlier store yield a *subset* candidate set, so hitting it also hits
+    the other pair.  Keeping only the Pareto frontier (maximal load
+    index, minimal store index) collapses the quadratic pair blow-up of
+    unrolled loops without changing the chosen checkpoints.
+    """
+    positions: Dict[int, int] = {}
+
+    def index_of(instr) -> int:
+        idx = positions.get(id(instr))
+        if idx is None:
+            for i, candidate in enumerate(instr.parent.instructions):
+                positions[id(candidate)] = i
+            idx = positions[id(instr)]
+        return idx
+
+    groups: Dict[Tuple[int, int, str], List[WARViolation]] = {}
+    for war in wars:
+        key = (id(war.load.parent), id(war.store.parent), war.kind)
+        groups.setdefault(key, []).append(war)
+    kept: List[WARViolation] = []
+    for group in groups.values():
+        if len(group) == 1:
+            kept.extend(group)
+            continue
+        indexed = [
+            (index_of(war.load), index_of(war.store), war) for war in group
+        ]
+        # sort by load index descending; keep wars whose store index is a
+        # new minimum (not dominated by any same-or-later load)
+        indexed.sort(key=lambda t: (-t[0], t[1]))
+        best_sidx = None
+        for lidx, sidx, war in indexed:
+            if best_sidx is None or sidx < best_sidx:
+                kept.append(war)
+                best_sidx = sidx
+    return kept
+
+
+def war_candidate_positions(
+    war: WARViolation, function=None, articulation_cache=None
+) -> List[Tuple[str, int]]:
+    """Candidate checkpoint positions for one WAR violation.
+
+    A position ``(block name, j)`` means "insert before instruction j of
+    that block".  Valid positions must lie on *every* read->write path:
+
+    * same-block forward WAR: the gaps strictly after the load, up to and
+      including just before the store;
+    * otherwise: the positions after the load in the load's block (every
+      path from the load crosses them), the positions up to the store in
+      the store's block (every path into the store crosses them), and all
+      positions of any *articulation* block that every load->store path
+      traverses — crucial for clustered writes in unrolled loop chains,
+      where the single cluster point must cover WARs whose endpoints sit
+      in other replicas.
+    """
+    load, store = war.load, war.store
+    lblock, sblock = load.parent, store.parent
+    lidx = lblock.index_of(load)
+    sidx = sblock.index_of(store)
+    positions: List[Tuple[str, int]] = []
+    if lblock is sblock and war.kind == FORWARD:
+        return [(lblock.name, j) for j in range(lidx + 1, sidx + 1)]
+    # Suffix of the load's block (never beyond the terminator).
+    last = len(lblock.instructions)
+    if lblock.terminator is not None:
+        last -= 1
+    positions.extend((lblock.name, j) for j in range(lidx + 1, last + 1))
+    # Prefix of the store's block, after any phis, up to the store —
+    # excluding positions at/before the load when it shares the block
+    # (backward same-block WARs have sidx <= lidx, so this is safe).
+    first = sblock.first_insertion_index()
+    positions.extend(
+        (sblock.name, j)
+        for j in range(first, sidx + 1)
+        if not (sblock is lblock and j > lidx)
+    )
+    fn = function if function is not None else lblock.parent
+    if articulation_cache is None:
+        articulation_cache = {}
+    cache_key = (id(lblock), id(sblock))
+    articulation = articulation_cache.get(cache_key)
+    if articulation is None:
+        articulation = blocks_on_every_path(
+            lblock, sblock, fn.blocks, lambda b: b.successors
+        )
+        articulation_cache[cache_key] = articulation
+    for block in articulation:
+        b_first = block.first_insertion_index()
+        b_last = len(block.instructions)
+        if block.terminator is not None:
+            b_last -= 1
+        positions.extend((block.name, j) for j in range(b_first, b_last + 1))
+    return positions
+
+
+def blocks_on_every_path(lblock, sblock, all_blocks, succs_of) -> List:
+    """Blocks (other than the endpoints) that every path from the load's
+    block exit to the store's block entry must traverse.
+
+    Classic equivalence: a block lies on every path from s's exit to t
+    iff it dominates t in the graph rooted at a virtual node whose
+    successors are s's successors.  One dominator computation serves all
+    queries from the same source block (see :func:`_source_dominators`).
+    """
+    idom, reachable = _source_dominators(lblock, all_blocks, succs_of)
+    if id(sblock) not in reachable:
+        return []
+    out: List = []
+    node_id = idom.get(id(sblock))
+    while node_id is not None:
+        block = reachable.get(node_id)
+        if block is None:  # reached the virtual root
+            break
+        if block is not lblock and block is not sblock:
+            out.append(block)
+        node_id = idom.get(node_id)
+    return out
+
+
+def _source_dominators(lblock, all_blocks, succs_of):
+    """Immediate dominators (by block id) of the CFG rooted at a virtual
+    node preceding ``lblock``'s successors, plus the reachable-block map.
+
+    Results are cached on the source block for the duration of the
+    containing pass (keyed by a shared dict attached to the function via
+    the caller's articulation cache, so here a plain per-call memo on the
+    block object would leak; instead the caller-level cache in
+    ``insert_function_checkpoints``/``find_spill_wars`` keeps pair-level
+    results, and this function memoises per (source, graph size)).
+    """
+    cache = getattr(_source_dominators, "_cache", None)
+    key = (id(lblock), len(all_blocks))
+    if cache is not None and cache.get("key0") is all_blocks and key in cache:
+        return cache[key]
+
+    root_id = -1
+    succ_map = {id(b): [id(s) for s in succs_of(b)] for b in all_blocks}
+    succ_map[root_id] = [id(s) for s in succs_of(lblock)]
+    blocks_by_id = {id(b): b for b in all_blocks}
+
+    # reverse postorder from the virtual root
+    order: List[int] = []
+    visited = set()
+    stack = [(root_id, iter(succ_map[root_id]))]
+    visited.add(root_id)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, iter(succ_map.get(nxt, []))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    rpo = list(reversed(order))
+    rpo_index = {node: i for i, node in enumerate(rpo)}
+    preds: Dict[int, List[int]] = {node: [] for node in rpo}
+    for node in rpo:
+        for nxt in succ_map.get(node, []):
+            if nxt in rpo_index:
+                preds[nxt].append(node)
+
+    idom: Dict[int, int] = {root_id: root_id}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == root_id:
+                continue
+            new_idom = None
+            for pred in preds[node]:
+                if pred in idom:
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    reachable = {
+        node: blocks_by_id[node] for node in rpo if node != root_id
+    }
+    # root is not a real block: cut idom chains there
+    result_idom = {
+        node: (parent if parent != root_id else None)
+        for node, parent in idom.items()
+        if node != root_id
+    }
+    result = (result_idom, reachable)
+    if cache is None or cache.get("key0") is not all_blocks:
+        cache = {"key0": all_blocks}
+        _source_dominators._cache = cache
+    cache[key] = result
+    return result
+
+
+def _insert_at(function, chosen, blocks_by_name) -> None:
+    by_block: Dict[str, List[int]] = {}
+    for block_name, idx in chosen:
+        by_block.setdefault(block_name, []).append(idx)
+    for block_name, indices in by_block.items():
+        block = blocks_by_name[block_name]
+        for idx in sorted(indices, reverse=True):
+            block.insert(idx, Checkpoint(CKPT_MIDDLE_END))

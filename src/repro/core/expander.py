@@ -1,0 +1,71 @@
+"""The Expander (paper §3.1.2/§4.3): heuristic aggressive inlining.
+
+Every function call forces checkpoints (callee entry, callee epilogue),
+so calls inside hot loops are expensive under intermittent execution.
+The Expander makes two passes: first it collects candidate functions —
+those handling pointers, whose bodies are likely to participate in the
+caller's WARs — then it inlines candidate calls that sit in innermost
+loops.  The paper notes the heuristic can also guess wrong (Tiny AES
+regresses slightly); we reproduce the heuristic, not an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis import loop_info
+from ..ir.instructions import Call
+from ..ir.types import is_pointer
+from ..transforms.inline import can_inline, inline_call
+
+#: Functions larger than this are never expanded (guards code-size blowup).
+MAX_EXPAND_SIZE = 800
+
+
+def _is_candidate_function(function) -> bool:
+    """Pass 1: functions 'containing pointers' — those taking or
+    computing pointer values, whose bodies are the likeliest to
+    participate in the caller's WAR violations."""
+    if function.is_declaration:
+        return False
+    if any(is_pointer(arg.type) for arg in function.args):
+        return True
+    from ..ir.instructions import GetElementPtr
+
+    return any(
+        isinstance(i, GetElementPtr) and is_pointer(i.base.type) and i.base in function.args
+        for i in function.instructions()
+    )
+
+
+def expand(module) -> int:
+    """Run the Expander; returns the number of call sites inlined."""
+    candidates = {
+        f.name for f in module.defined_functions() if _is_candidate_function(f)
+    }
+    inlined = 0
+    for function in list(module.defined_functions()):
+        # Pass 2: calls in innermost loops to candidate functions.
+        li = loop_info(function)
+        sites: List[Call] = []
+        for block in function.blocks:
+            loop = li.innermost_loop_of(block)
+            if loop is None or loop.children:
+                continue  # only loops without sub-loops
+            for instr in block.instructions:
+                if not isinstance(instr, Call):
+                    continue
+                if instr.callee.name not in candidates:
+                    continue
+                if not can_inline(instr):
+                    continue
+                size = sum(len(b) for b in instr.callee.blocks)
+                if size > MAX_EXPAND_SIZE:
+                    continue
+                sites.append(instr)
+        for call in sites:
+            if call.parent is None:
+                continue  # removed by an earlier inline of the same block
+            inline_call(call)
+            inlined += 1
+    return inlined

@@ -1,0 +1,82 @@
+"""Greedy minimum hitting set for checkpoint placement.
+
+Both the middle-end PDG Checkpoint Inserter and the back-end Hitting Set
+Stack Spill Checkpoint Inserter (paper §3.1.2/§3.1.3, after de Kruijf et
+al. [11, §4.2.1]) reduce checkpoint placement to: every WAR violation
+contributes a *set of candidate locations* that would break it; choose a
+minimum-cost set of locations hitting every WAR's set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Set
+
+
+def greedy_hitting_set(
+    requirements: Sequence[Iterable[Hashable]],
+    cost: Callable[[Hashable], float] = lambda _key: 1.0,
+) -> List[Hashable]:
+    """Pick locations hitting every requirement set, greedily by
+    covered-per-cost.
+
+    Each entry of ``requirements`` is the candidate-location set of one
+    WAR violation; the returned list of locations hits every non-empty
+    set.  Empty candidate sets are a caller bug and raise ``ValueError``
+    (every WAR always admits at least the position just before its
+    write).
+    """
+    reqs: List[Set[Hashable]] = []
+    for req in requirements:
+        req_set = set(req)
+        if not req_set:
+            raise ValueError("a WAR violation has no candidate locations")
+        reqs.append(req_set)
+
+    # Incremental bookkeeping: coverage per key plus the requirement sets
+    # each key appears in, so choosing a location only touches the
+    # requirements it satisfies.
+    coverage: Dict[Hashable, int] = {}
+    members: Dict[Hashable, List[int]] = {}
+    alive = [True] * len(reqs)
+    alive_count = len(reqs)
+    for idx, req in enumerate(reqs):
+        for key in req:
+            coverage[key] = coverage.get(key, 0) + 1
+            members.setdefault(key, []).append(idx)
+    inv_cost = {key: 1.0 / max(cost(key), 1e-9) for key in coverage}
+
+    chosen: List[Hashable] = []
+    while alive_count:
+        # Highest coverage-per-cost wins; ties break deterministically on
+        # the key itself so runs are reproducible.
+        best = None
+        best_ratio = -1.0
+        for key, count in coverage.items():
+            if count <= 0:
+                continue
+            ratio = count * inv_cost[key]
+            if ratio > best_ratio or (
+                ratio == best_ratio and _stable(key) > _stable(best)
+            ):
+                best = key
+                best_ratio = ratio
+        chosen.append(best)
+        for idx in members[best]:
+            if not alive[idx]:
+                continue
+            alive[idx] = False
+            alive_count -= 1
+            for key in reqs[idx]:
+                coverage[key] -= 1
+    return chosen
+
+
+def _stable(key: Hashable):
+    """A deterministic tiebreak ordering for candidate keys."""
+    try:
+        return tuple(
+            part if isinstance(part, (int, str, float)) else str(part)
+            for part in key
+        )
+    except TypeError:
+        return (str(key),)

@@ -1,0 +1,173 @@
+"""The ``iclang`` compilation driver (paper §4.6).
+
+One call takes mini-C sources to an executable image through a named
+*environment* — the software environments of the evaluation (§5.1.3):
+
+========================  ==========================================================
+``plain``                 uninstrumented C (the normalisation baseline; NOT safe
+                          under intermittent power)
+``ratchet``               Ratchet: conservative built-in alias analysis, checkpoint
+                          per WAR, naive back end
+``r-pdg``                 Ratchet with NOELLE-precision PDG alias information
+``epilog-optimizer``      R-PDG + the Epilog Optimizer only
+``write-clusterer``       R-PDG + Write Clusterer + hitting-set spill inserter
+``loop-write-clusterer``  R-PDG + Loop Write Clusterer + hitting-set spill inserter
+``wario``                 complete WARio (both clusterers, hitting-set spill,
+                          epilog optimizer)
+``wario-expander``        WARio + the Expander inliner
+========================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
+
+from ..analysis.alias import CONSERVATIVE, PRECISE
+from ..backend import Program, compile_to_program
+from ..frontend import compile_sources
+from ..ir import Module, verify_module
+from ..transforms import optimize_module
+from ..transforms.dce import run_on_module as run_dce
+from ..transforms.simplifycfg import run_on_module as run_simplify
+from .checkpoint_inserter import insert_checkpoints
+from .expander import expand
+from .loop_write_clusterer import DEFAULT_UNROLL_FACTOR, cluster_loop_writes
+from .write_clusterer import cluster_writes
+
+
+@dataclass(frozen=True)
+class EnvironmentConfig:
+    """One software environment: which transformations run and how."""
+
+    name: str
+    instrument: bool = True
+    alias_mode: str = PRECISE
+    loop_write_clusterer: bool = False
+    write_clusterer: bool = False
+    expander: bool = False
+    spill_checkpoint_mode: str = "basic"     # 'basic' | 'hitting-set'
+    epilogue_style: str = "ratchet"          # 'plain' | 'ratchet' | 'wario'
+    unroll_factor: int = DEFAULT_UNROLL_FACTOR
+    #: extension (paper §6): bound the statically-estimated idempotent
+    #: region length by inserting extra 'region-bound' checkpoints
+    max_region_cycles: Optional[int] = None
+    #: extension (paper §7): cache data generated and used within one
+    #: idempotent region in registers (store-to-load forwarding)
+    volatile_cache: bool = False
+
+
+ENVIRONMENTS: Dict[str, EnvironmentConfig] = {
+    "plain": EnvironmentConfig(
+        "plain", instrument=False, epilogue_style="plain"
+    ),
+    "ratchet": EnvironmentConfig(
+        "ratchet", alias_mode=CONSERVATIVE
+    ),
+    "r-pdg": EnvironmentConfig(
+        "r-pdg"
+    ),
+    "epilog-optimizer": EnvironmentConfig(
+        # The paper enables the hitting-set spill inserter for every WARio
+        # variant EXCEPT this one, to isolate the epilog effect (§5.1.3).
+        "epilog-optimizer", epilogue_style="wario"
+    ),
+    "write-clusterer": EnvironmentConfig(
+        "write-clusterer", write_clusterer=True, spill_checkpoint_mode="hitting-set"
+    ),
+    "loop-write-clusterer": EnvironmentConfig(
+        "loop-write-clusterer",
+        loop_write_clusterer=True,
+        spill_checkpoint_mode="hitting-set",
+    ),
+    "wario": EnvironmentConfig(
+        "wario",
+        loop_write_clusterer=True,
+        write_clusterer=True,
+        spill_checkpoint_mode="hitting-set",
+        epilogue_style="wario",
+    ),
+    "wario-expander": EnvironmentConfig(
+        "wario-expander",
+        loop_write_clusterer=True,
+        write_clusterer=True,
+        expander=True,
+        spill_checkpoint_mode="hitting-set",
+        epilogue_style="wario",
+    ),
+}
+
+
+def environment(name_or_config: Union[str, EnvironmentConfig]) -> EnvironmentConfig:
+    if isinstance(name_or_config, EnvironmentConfig):
+        return name_or_config
+    try:
+        return ENVIRONMENTS[name_or_config]
+    except KeyError:
+        raise ValueError(
+            f"unknown environment {name_or_config!r}; "
+            f"choose from {sorted(ENVIRONMENTS)}"
+        ) from None
+
+
+def run_middle_end(module: Module, config: EnvironmentConfig) -> None:
+    """WARio's middle end in the Figure 2 order: always-inline + -O3,
+    Loop Write Clusterer, Expander, Write Clusterer, PDG Checkpoint
+    Inserter."""
+    optimize_module(module)
+    if config.volatile_cache:
+        from ..transforms.volatile_cache import cache_volatile_data
+
+        cache_volatile_data(module, alias_mode=config.alias_mode)
+        run_dce(module)
+    if config.loop_write_clusterer:
+        cluster_loop_writes(
+            module, unroll_factor=config.unroll_factor, alias_mode=config.alias_mode
+        )
+        run_dce(module)
+    if config.expander:
+        expand(module)
+        run_simplify(module)
+        run_dce(module)
+    if config.write_clusterer:
+        cluster_writes(module, alias_mode=config.alias_mode)
+    if config.instrument:
+        insert_checkpoints(module, alias_mode=config.alias_mode)
+        if config.max_region_cycles is not None:
+            from .region_bound import bound_region_sizes
+
+            bound_region_sizes(module, config.max_region_cycles)
+    verify_module(module)
+
+
+def compile_ir(module: Module, env: Union[str, EnvironmentConfig]) -> Program:
+    """Middle end + back end for an already-front-ended module."""
+    config = environment(env)
+    run_middle_end(module, config)
+    return compile_to_program(
+        module,
+        spill_checkpoint_mode=config.spill_checkpoint_mode if config.instrument else None,
+        epilogue_style=config.epilogue_style,
+        entry_checkpoints=config.instrument,
+    )
+
+
+def iclang(
+    sources: Union[str, List[str]],
+    env: Union[str, EnvironmentConfig] = "wario",
+    unroll_factor: Optional[int] = None,
+    name: str = "program",
+) -> Program:
+    """The drop-in compilation driver: mini-C source(s) -> executable.
+
+    ``unroll_factor`` overrides the Loop Write Clusterer's N (paper
+    default: 8, found experimentally in §5.2.4).
+    """
+    config = environment(env)
+    if unroll_factor is not None:
+        config = replace(config, unroll_factor=unroll_factor)
+    if isinstance(sources, str):
+        sources = [sources]
+    module = compile_sources(sources, name)
+    verify_module(module)
+    return compile_ir(module, config)

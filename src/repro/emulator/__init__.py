@@ -1,0 +1,33 @@
+"""repro.emulator — the custom processor emulator (paper §5.1.1): NVM
+memory model, cycle accounting with pipeline refills, double-buffered
+register checkpoints, power-failure injection, interrupt stacking, and
+WAR-violation absence verification."""
+
+from .costs import DEFAULT_COSTS, CostModel
+from .machine import (
+    EmulationError,
+    EmulationLimit,
+    Machine,
+    NoForwardProgress,
+)
+from .power import (
+    ContinuousPower,
+    FixedPeriodPower,
+    PowerSupply,
+    SuddenDropPower,
+    TracePower,
+    trace_a,
+    trace_b,
+)
+from .stats import ExecutionStats
+from .warcheck import Violation, WARChecker
+
+__all__ = [
+    "CostModel", "DEFAULT_COSTS",
+    "Machine", "EmulationError", "EmulationLimit", "NoForwardProgress",
+    "PowerSupply", "ContinuousPower", "FixedPeriodPower", "TracePower",
+    "SuddenDropPower",
+    "trace_a", "trace_b",
+    "ExecutionStats",
+    "WARChecker", "Violation",
+]

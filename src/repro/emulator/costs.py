@@ -1,0 +1,62 @@
+"""Cycle cost model: a three-stage-pipeline Cortex-M4 approximation.
+
+The emulator mirrors the paper's §5.1.1: per-instruction cycle counts
+with pipeline refills charged on taken branches, plus the costs of the
+checkpoint runtime (double-buffered register save), checkpoint
+restoration, and the boot path after a power failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CostModel:
+    """Cycle costs per opcode plus runtime-event costs."""
+
+    #: cycles added when a branch is taken (3-stage pipeline refill)
+    pipeline_refill: int = 2
+    #: register-only, double-buffered checkpoint: 16 words stored twice
+    #: buffered plus the index flip and the call into the routine
+    checkpoint_cycles: int = 50
+    #: restoring the register file from the active checkpoint buffer
+    restore_cycles: int = 40
+    #: the boot path from power-on to checkpoint restoration
+    boot_cycles: int = 1000
+    #: interrupt entry/exit (hardware stacking) and the ISR body
+    interrupt_entry_cycles: int = 12
+    interrupt_exit_cycles: int = 12
+    isr_cycles: int = 8
+
+    base_costs: Dict[str, int] = field(
+        default_factory=lambda: {
+            "mov": 1, "adr": 2, "lea": 1,
+            "add": 1, "sub": 1, "and": 1, "orr": 1, "eor": 1,
+            "lsl": 1, "lsr": 1, "asr": 1,
+            "mul": 1, "udiv": 8, "sdiv": 8,
+            "sxtb": 1, "uxtb": 1, "sxth": 1, "uxth": 1,
+            "cmp": 1, "cmov": 2,
+            "ldr": 2, "ldrb": 2, "ldrh": 2,
+            "str": 2, "strb": 2, "strh": 2,
+            "b": 1, "bcc": 1, "bl": 2, "bx_lr": 1,
+            "push": 1, "pop": 1,
+            "addsp": 1, "subsp": 1,
+            "cpsid": 1, "cpsie": 1,
+            "nop": 1,
+            "checkpoint": 0,  # charged as checkpoint_cycles
+        }
+    )
+
+    def cost_of(self, instr) -> int:
+        op = instr.opcode
+        if op == "checkpoint":
+            return self.checkpoint_cycles
+        base = self.base_costs[op]
+        if op in ("push", "pop"):
+            return base + len(instr.regs)
+        return base
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,414 @@
+"""The intermittent-computing emulator (paper §5.1.1).
+
+Executes an encoded :class:`~repro.backend.encoder.Program` on a model of
+an ARM Cortex-M-class MCU with non-volatile main memory: globals and the
+stack live in NVM (they survive power failures); the register file is
+volatile and is saved only by the double-buffered checkpoint runtime.
+
+The emulator optionally drives a :class:`~repro.emulator.power.PowerSupply`
+(power failures clear the registers and charge the boot + restore path),
+fires a periodic timer interrupt (hardware stacking through the WAR
+checker), and verifies the absence of WAR violations on every access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..backend.encoder import HALT_ADDRESS, Program, STACK_TOP
+from .costs import DEFAULT_COSTS, CostModel
+from .power import PowerSupply
+from .stats import ExecutionStats
+from .warcheck import WARChecker
+
+M32 = 0xFFFFFFFF
+
+
+class EmulationError(Exception):
+    pass
+
+
+class EmulationLimit(EmulationError):
+    """Raised when the instruction budget is exhausted."""
+
+
+class NoForwardProgress(EmulationError):
+    """Raised when the power supply cannot sustain boot + restore."""
+
+
+def _signed(v: int) -> int:
+    v &= M32
+    return v - (1 << 32) if v >= 1 << 31 else v
+
+
+_COND = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: _signed(a) < _signed(b),
+    "le": lambda a, b: _signed(a) <= _signed(b),
+    "gt": lambda a, b: _signed(a) > _signed(b),
+    "ge": lambda a, b: _signed(a) >= _signed(b),
+    "lo": lambda a, b: a < b,
+    "ls": lambda a, b: a <= b,
+    "hi": lambda a, b: a > b,
+    "hs": lambda a, b: a >= b,
+}
+
+_ALU = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "orr": lambda a, b: a | b,
+    "eor": lambda a, b: a ^ b,
+}
+
+
+class Machine:
+    """One emulated device executing one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        cost_model: Optional[CostModel] = None,
+        war_check: bool = True,
+        interrupt_interval: Optional[int] = None,
+        jit_checkpoint_threshold: Optional[int] = None,
+    ):
+        self.program = program
+        self.costs = cost_model or DEFAULT_COSTS
+        self.war = WARChecker() if war_check else None
+        self.interrupt_interval = interrupt_interval
+        #: Just-In-Time checkpointing (paper §6): a Hibernus-style
+        #: voltage-comparator model.  When the remaining on-time of a
+        #: discharge falls below the threshold the device checkpoints and
+        #: sleeps until power returns.  Periods shorter than the
+        #: threshold collapse faster than the comparator can react — the
+        #: paper's "imprecise" hardware systems — so no checkpoint fires
+        #: and the partial execution is re-run from the previous
+        #: checkpoint.  Only meaningful with a non-continuous supply.
+        self.jit_checkpoint_threshold = jit_checkpoint_threshold
+        self._jit_fired = False
+        self.stats = ExecutionStats()
+
+        self.memory = bytearray(program.initial_memory)
+        self.regs: Dict[str, int] = {f"r{i}": 0 for i in range(13)}
+        self.regs["sp"] = STACK_TOP - 64
+        self.regs["lr"] = HALT_ADDRESS & M32
+        self.pc = program.entry
+        self.last_cmp: Tuple[int, int] = (0, 0)
+        self.interrupts_enabled = True
+        self.pending_interrupt = False
+        self.region_cycles = 0
+        self._next_interrupt = interrupt_interval if interrupt_interval else None
+        # double-buffered checkpoint: the initial (boot) checkpoint holds
+        # the pristine entry state
+        self._ckpt_active = (dict(self.regs), self.pc, self.last_cmp)
+        self._halt_sentinel = HALT_ADDRESS & M32
+        self._failures_since_checkpoint = 0
+
+    # -- memory -----------------------------------------------------------
+    def _resolve(self, base, offset) -> int:
+        if isinstance(base, str):  # 'sp'
+            addr = self.regs[base]
+        elif hasattr(base, "offset"):  # StackSlot
+            addr = self.regs["sp"] + base.offset
+        else:  # VReg
+            addr = self.regs[base.phys]
+        return (addr + offset) & M32
+
+    def read_mem(self, addr: int, size: int) -> int:
+        if addr + size > len(self.memory):
+            raise EmulationError(f"load out of bounds: 0x{addr:x}")
+        if self.war is not None:
+            self.war.on_read(addr, size)
+        return int.from_bytes(self.memory[addr : addr + size], "little")
+
+    def write_mem(self, addr: int, size: int, value: int) -> None:
+        if addr + size > len(self.memory):
+            raise EmulationError(f"store out of bounds: 0x{addr:x}")
+        if self.war is not None:
+            self.war.on_write(
+                addr, size, self.pc, self.program.function_of_index[self.pc]
+            )
+        self.memory[addr : addr + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def _val(self, op) -> int:
+        return op & M32 if isinstance(op, int) else self.regs[op.phys]
+
+    # -- checkpointing ------------------------------------------------------
+    def _take_checkpoint(self, cause: str, next_pc: Optional[int] = None) -> None:
+        # Double buffering: the new snapshot only becomes active once it
+        # is complete, so a power failure mid-checkpoint restores the old
+        # one.  Instruction-granular power failures make the snapshot
+        # atomic here; the buffers live in reserved NVM outside the
+        # program's address space.
+        if next_pc is None:
+            next_pc = self.pc + 1  # resume after the checkpoint instruction
+        self._ckpt_active = (dict(self.regs), next_pc, self.last_cmp)
+        self._failures_since_checkpoint = 0
+        self.stats.record_checkpoint(cause, self.region_cycles)
+        self.region_cycles = 0
+        if self.war is not None:
+            self.war.on_checkpoint()
+
+    def _restore_checkpoint(self) -> None:
+        regs, pc, cmp_state = self._ckpt_active
+        self.regs = dict(regs)
+        self.pc = pc
+        self.last_cmp = cmp_state
+        self.interrupts_enabled = True
+        self.pending_interrupt = False
+        self.region_cycles = 0
+        if self.war is not None:
+            self.war.on_power_restore()
+
+    # -- interrupts -------------------------------------------------------------
+    def _fire_interrupt(self) -> None:
+        """Hardware exception entry: stack r0-r3, r12, lr, pc, xPSR."""
+        sp = (self.regs["sp"] - 32) & M32
+        self.regs["sp"] = sp
+        frame = [
+            self.regs["r0"], self.regs["r1"], self.regs["r2"], self.regs["r3"],
+            self.regs["r12"], self.regs["lr"], self.pc & M32, 0,
+        ]
+        for i, word in enumerate(frame):
+            self.write_mem(sp + 4 * i, 4, word)
+        # ISR body is opaque; exception return unstacks the frame.
+        for i in range(8):
+            self.read_mem(sp + 4 * i, 4)
+        self.regs["sp"] = (sp + 32) & M32
+        cost = (
+            self.costs.interrupt_entry_cycles
+            + self.costs.isr_cycles
+            + self.costs.interrupt_exit_cycles
+        )
+        self.stats.cycles += cost
+        self.region_cycles += cost
+        self.stats.interrupts += 1
+
+    # -- main loop ---------------------------------------------------------------
+    def run(
+        self,
+        power: Optional[PowerSupply] = None,
+        max_instructions: int = 100_000_000,
+    ) -> ExecutionStats:
+        instrs = self.program.instrs
+        costs = self.costs
+        stats = self.stats
+        regs = self.regs
+
+        on_iter = None
+        budget = None
+        if power is not None and not power.is_continuous:
+            on_iter = power.on_durations()
+            budget = next(on_iter)
+            if (
+                self.jit_checkpoint_threshold is not None
+                and budget <= self.jit_checkpoint_threshold
+            ):
+                self._jit_fired = True  # collapsed before the comparator
+        period_used = 0
+
+        while True:
+            if stats.instructions >= max_instructions:
+                raise EmulationLimit(
+                    f"exceeded {max_instructions} instructions "
+                    f"({stats.summary()})"
+                )
+            instr = instrs[self.pc]
+            cost = costs.cost_of(instr)
+
+            if budget is not None and period_used + cost > budget:
+                # ---- power failure ---------------------------------------
+                stats.power_failures += 1
+                stats.reexecuted_cycles += self.region_cycles
+                self._failures_since_checkpoint += 1
+                if self._failures_since_checkpoint > 1000:
+                    raise NoForwardProgress(
+                        "the idempotent region does not fit the power-on "
+                        f"window ({stats.summary()})"
+                    )
+                boot = costs.boot_cycles + costs.restore_cycles
+                dead_periods = 0
+                budget = next(on_iter)
+                while budget < boot:
+                    dead_periods += 1
+                    stats.power_failures += 1
+                    if dead_periods > 10_000:
+                        raise NoForwardProgress(
+                            "power-on periods shorter than boot + restore"
+                        )
+                    budget = next(on_iter)
+                period_used = boot
+                stats.cycles += boot
+                stats.boot_cycles += boot
+                self._jit_fired = (
+                    self.jit_checkpoint_threshold is not None
+                    and budget - boot <= self.jit_checkpoint_threshold
+                )  # a too-short period collapses before the comparator
+                self._restore_checkpoint()
+                regs = self.regs
+                continue
+
+            stats.instructions += 1
+            taken_branch = False
+            op = instr.opcode
+            ops = instr.ops
+
+            if op == "mov":
+                regs[instr.dst.phys] = self._val(ops[0])
+            elif op in _ALU:
+                regs[instr.dst.phys] = _ALU[op](self._val(ops[0]), self._val(ops[1])) & M32
+            elif op in ("lsl", "lsr", "asr"):
+                amount = self._val(ops[1]) & 0xFF
+                a = self._val(ops[0])
+                if op == "lsl":
+                    result = (a << amount) & M32 if amount < 32 else 0
+                elif op == "lsr":
+                    result = a >> amount if amount < 32 else 0
+                else:
+                    result = (_signed(a) >> amount) & M32 if amount < 32 else (
+                        M32 if _signed(a) < 0 else 0
+                    )
+                regs[instr.dst.phys] = result
+            elif op in ("udiv", "sdiv"):
+                a, b = self._val(ops[0]), self._val(ops[1])
+                if b == 0:
+                    result = 0  # ARM semantics: division by zero yields 0
+                elif op == "udiv":
+                    result = a // b
+                else:
+                    sa, sb = _signed(a), _signed(b)
+                    result = abs(sa) // abs(sb)
+                    if (sa < 0) != (sb < 0):
+                        result = -result
+                regs[instr.dst.phys] = result & M32
+            elif op in ("ldr", "ldrb", "ldrh"):
+                size = {"ldr": 4, "ldrb": 1, "ldrh": 2}[op]
+                addr = self._resolve(ops[0], ops[1])
+                regs[instr.dst.phys] = self.read_mem(addr, size)
+            elif op in ("str", "strb", "strh"):
+                size = {"str": 4, "strb": 1, "strh": 2}[op]
+                addr = self._resolve(ops[1], ops[2])
+                self.write_mem(addr, size, self._val(ops[0]))
+            elif op == "cmp":
+                self.last_cmp = (self._val(ops[0]), self._val(ops[1]))
+            elif op == "bcc":
+                if _COND[instr.cond](*self.last_cmp):
+                    self.pc = ops[0] - 1
+                    taken_branch = True
+            elif op == "b":
+                self.pc = ops[0] - 1
+                taken_branch = True
+            elif op == "cmov":
+                if _COND[instr.cond](*self.last_cmp):
+                    regs[instr.dst.phys] = self._val(ops[0])
+            elif op == "adr":
+                regs[instr.dst.phys] = ops[0]
+            elif op == "lea":
+                regs[instr.dst.phys] = (regs["sp"] + ops[0].offset) & M32
+            elif op == "bl":
+                regs["lr"] = (self.pc + 1) & M32
+                callee = self.program.function_of_index[ops[0]]
+                stats.call_counts[callee] = stats.call_counts.get(callee, 0) + 1
+                self.pc = ops[0] - 1
+                taken_branch = True
+            elif op == "bx_lr":
+                target = regs["lr"]
+                if target == self._halt_sentinel:
+                    stats.cycles += cost
+                    self.region_cycles += cost
+                    stats.halted = True
+                    return stats
+                self.pc = target - 1
+                taken_branch = True
+            elif op == "push":
+                n = len(instr.regs)
+                sp = (regs["sp"] - 4 * n) & M32
+                regs["sp"] = sp
+                for i, reg in enumerate(instr.regs):
+                    self.write_mem(sp + 4 * i, 4, regs[reg])
+            elif op == "pop":
+                sp = regs["sp"]
+                for i, reg in enumerate(instr.regs):
+                    regs[reg] = self.read_mem(sp + 4 * i, 4)
+                regs["sp"] = (sp + 4 * len(instr.regs)) & M32
+            elif op == "addsp":
+                regs["sp"] = (regs["sp"] + ops[0]) & M32
+            elif op == "subsp":
+                regs["sp"] = (regs["sp"] - ops[0]) & M32
+            elif op == "sxtb":
+                v = self._val(ops[0]) & 0xFF
+                regs[instr.dst.phys] = (v - 256 if v >= 128 else v) & M32
+            elif op == "uxtb":
+                regs[instr.dst.phys] = self._val(ops[0]) & 0xFF
+            elif op == "sxth":
+                v = self._val(ops[0]) & 0xFFFF
+                regs[instr.dst.phys] = (v - 65536 if v >= 32768 else v) & M32
+            elif op == "uxth":
+                regs[instr.dst.phys] = self._val(ops[0]) & 0xFFFF
+            elif op == "checkpoint":
+                self._take_checkpoint(instr.cause)
+            elif op == "cpsid":
+                self.interrupts_enabled = False
+            elif op == "cpsie":
+                self.interrupts_enabled = True
+                if self.pending_interrupt:
+                    self.pending_interrupt = False
+                    self._fire_interrupt()
+            elif op == "nop":
+                pass
+            else:
+                raise EmulationError(f"cannot execute {instr!r}")
+
+            if taken_branch:
+                cost += costs.pipeline_refill
+            stats.cycles += cost
+            self.region_cycles += cost
+            period_used += cost
+            self.pc += 1
+
+            # JIT checkpoint: the comparator sees the capacitor voltage
+            # crossing the configured threshold; the device saves state
+            # and sleeps out the remainder of the discharge.  A period
+            # that started below the threshold collapsed too fast for the
+            # comparator (handled at period start).
+            if (
+                self.jit_checkpoint_threshold is not None
+                and budget is not None
+                and not self._jit_fired
+                and budget - period_used <= self.jit_checkpoint_threshold
+            ):
+                self._jit_fired = True
+                jit_cost = costs.checkpoint_cycles
+                stats.cycles += jit_cost
+                self.region_cycles += jit_cost
+                period_used += jit_cost
+                self._take_checkpoint("jit", next_pc=self.pc)
+                period_used = budget  # sleep until the brown-out
+
+            # periodic timer interrupt
+            if self._next_interrupt is not None and stats.cycles >= self._next_interrupt:
+                self._next_interrupt += self.interrupt_interval
+                if self.interrupts_enabled:
+                    self._fire_interrupt()
+                else:
+                    self.pending_interrupt = True
+
+    # -- post-run inspection ---------------------------------------------------
+    def read_global(self, name: str, count: int = 1, size: int = 4, signed: bool = False):
+        """Read a global scalar or array from memory after (or during) a
+        run.  Returns an int for ``count == 1``, else a list."""
+        addr = self.program.global_addr[name]
+        values = []
+        for i in range(count):
+            raw = int.from_bytes(
+                self.memory[addr + i * size : addr + (i + 1) * size], "little"
+            )
+            if signed and raw >= 1 << (8 * size - 1):
+                raw -= 1 << (8 * size)
+            values.append(raw)
+        return values[0] if count == 1 else values

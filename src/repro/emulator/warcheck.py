@@ -1,0 +1,76 @@
+"""WAR-violation absence verification (paper §5.1.1).
+
+Every memory access of the emulated program is checked: within one
+idempotent region (the span between two checkpoints), a store to an
+address whose *first* access in the region was a load is a WAR violation
+— re-executing the region after a power failure would make that load
+observe the new value.  Unlike the middle-end analysis, this checker sees
+back-end and runtime traffic too (spills, pops, interrupt stacking),
+matching the paper's extension of Maioli et al.'s verification into the
+back end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Violation:
+    address: int
+    pc: int
+    function: str
+    region_index: int
+
+    def __str__(self):
+        return (
+            f"WAR violation: store to 0x{self.address:x} after a load in the "
+            f"same idempotent region (pc={self.pc}, fn={self.function}, "
+            f"region #{self.region_index})"
+        )
+
+
+class WARChecker:
+    """Tracks first-accesses per idempotent region, byte-granular."""
+
+    READ = 1
+    WRITE = 2
+
+    def __init__(self, record_all: bool = False):
+        self._first: Dict[int, int] = {}
+        self.violations: List[Violation] = []
+        self.region_index = 0
+        self.record_all = record_all
+
+    def on_read(self, address: int, size: int) -> None:
+        first = self._first
+        for a in range(address, address + size):
+            if a not in first:
+                first[a] = self.READ
+
+    def on_write(self, address: int, size: int, pc: int = -1, function: str = "?") -> None:
+        first = self._first
+        for a in range(address, address + size):
+            kind = first.get(a)
+            if kind is None:
+                first[a] = self.WRITE
+            elif kind == self.READ:
+                self.violations.append(Violation(a, pc, function, self.region_index))
+                if not self.record_all:
+                    # Record one violation per (region, address): promote
+                    # to WRITE so a loop does not flood the list.
+                    first[a] = self.WRITE
+
+    def on_checkpoint(self) -> None:
+        """A checkpoint ends the current idempotent region."""
+        self._first.clear()
+        self.region_index += 1
+
+    def on_power_restore(self) -> None:
+        """Restoration re-enters the region after the last checkpoint."""
+        self._first.clear()
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations

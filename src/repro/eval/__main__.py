@@ -1,0 +1,53 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro.eval            # everything
+    python -m repro.eval fig4       # one experiment
+    python -m repro.eval fig4 fig5 table1 ...
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .figures import (
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from .runner import ExperimentRunner
+
+_RENDERERS = {
+    "fig4": render_figure4,
+    "fig5": render_figure5,
+    "fig6": render_figure6,
+    "fig7": render_figure7,
+    "table1": render_table1,
+    "table2": render_table2,
+    "table3": render_table3,
+}
+
+
+def main(argv=None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    if not args:
+        args = list(_RENDERERS)
+    unknown = [a for a in args if a not in _RENDERERS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; choose from {sorted(_RENDERERS)}")
+        return 2
+    runner = ExperimentRunner()
+    for i, name in enumerate(args):
+        if i:
+            print("\n" + "=" * 78 + "\n")
+        print(_RENDERERS[name](runner))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Shared experiment runner with result caching.
+
+Several figures consume the same (benchmark x environment) grid; the
+runner executes each combination once per process and hands out the
+recorded statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..backend import Program
+from ..benchsuite import BENCHMARKS, compile_benchmark, run_benchmark
+from ..emulator import ExecutionStats, PowerSupply
+
+#: evaluation environments, in the paper's Figure 4 order
+FIGURE4_ENVIRONMENTS = (
+    "ratchet",
+    "r-pdg",
+    "epilog-optimizer",
+    "write-clusterer",
+    "loop-write-clusterer",
+    "wario",
+    "wario-expander",
+)
+
+
+@dataclass
+class RunResult:
+    stats: ExecutionStats
+    program: Program
+    outputs_ok: bool = True
+
+
+class ExperimentRunner:
+    """Runs and caches (benchmark, environment, unroll, power) cells."""
+
+    def __init__(self, war_check: bool = False):
+        # WAR checking costs dict traffic per memory access; the
+        # correctness suite verifies WAR freedom separately, so the
+        # performance harness defaults it off (like the paper's separate
+        # verification runs).
+        self.war_check = war_check
+        self._cache: Dict[Tuple, RunResult] = {}
+
+    def run(
+        self,
+        bench_name: str,
+        env: str,
+        unroll_factor: Optional[int] = None,
+        power: Optional[PowerSupply] = None,
+        power_key: Optional[str] = None,
+    ) -> RunResult:
+        key = (bench_name, env, unroll_factor or 0, power_key or "continuous")
+        if key in self._cache:
+            return self._cache[key]
+        bench = BENCHMARKS[bench_name]
+        machine, stats = run_benchmark(
+            bench,
+            env,
+            power=power,
+            unroll_factor=unroll_factor,
+            war_check=self.war_check and env != "plain",
+            verify=True,
+        )
+        program = compile_benchmark(bench, env, unroll_factor)
+        result = RunResult(stats=stats, program=program)
+        self._cache[key] = result
+        return result
+
+    # -- convenience -----------------------------------------------------
+    def cycles(self, bench_name: str, env: str) -> int:
+        return self.run(bench_name, env).stats.cycles
+
+    def normalized_time(self, bench_name: str, env: str) -> float:
+        plain = self.cycles(bench_name, "plain")
+        return self.cycles(bench_name, env) / plain
+
+    def checkpoint_overhead(self, bench_name: str, env: str) -> int:
+        """Extra cycles over the uninstrumented build."""
+        return self.cycles(bench_name, env) - self.cycles(bench_name, "plain")
+
+    def executed_checkpoints(self, bench_name: str, env: str) -> int:
+        return self.run(bench_name, env).stats.checkpoints
+
+    def checkpoint_causes(self, bench_name: str, env: str) -> Dict[str, int]:
+        return dict(self.run(bench_name, env).stats.checkpoint_causes)

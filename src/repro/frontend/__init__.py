@@ -1,0 +1,20 @@
+"""repro.frontend — the mini-C front end (lexer, parser, IR generation).
+
+The benchmark suite and the examples are written in this dialect; it
+covers the C subset the paper's benchmarks exercise: global scalars and
+(multi-dimensional) arrays, pointers, functions, the full integer
+expression grammar, and all structured control flow.
+"""
+
+from .c_ast import CType
+from .irgen import MAX_ARGS, CompileError, IRGenerator, compile_source, compile_sources
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, Parser, eval_const_expr, parse
+
+__all__ = [
+    "CType",
+    "CompileError", "IRGenerator", "compile_source", "compile_sources",
+    "MAX_ARGS",
+    "LexError", "Token", "tokenize",
+    "ParseError", "Parser", "parse", "eval_const_expr",
+]

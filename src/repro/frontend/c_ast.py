@@ -1,0 +1,323 @@
+"""AST and C-level types for the mini-C front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# C types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    """A C-level type: integer, pointer, array, or void.
+
+    ``kind`` is one of ``int``, ``ptr``, ``array``, ``void``.  For ints,
+    ``bits``/``signed`` matter; for pointers/arrays, ``target`` (and
+    ``count`` for arrays).
+    """
+
+    kind: str
+    bits: int = 32
+    signed: bool = True
+    target: Optional["CType"] = None
+    count: int = 0
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind == "int"
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.kind == "ptr"
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == "array"
+
+    @property
+    def is_void(self) -> bool:
+        return self.kind == "void"
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay."""
+        if self.is_array:
+            return CType("ptr", target=self.target)
+        return self
+
+    @property
+    def size(self) -> int:
+        if self.kind == "int":
+            return max(1, self.bits // 8)
+        if self.kind == "ptr":
+            return 4
+        if self.kind == "array":
+            return self.target.size * self.count
+        return 0
+
+    def __str__(self):
+        if self.kind == "int":
+            prefix = "" if self.signed else "unsigned "
+            name = {8: "char", 16: "short", 32: "int"}[self.bits]
+            return f"{prefix}{name}"
+        if self.kind == "ptr":
+            return f"{self.target}*"
+        if self.kind == "array":
+            return f"{self.target}[{self.count}]"
+        return "void"
+
+
+INT = CType("int", 32, True)
+UINT = CType("int", 32, False)
+# Plain ``char`` is unsigned, matching the ARM EABI the paper targets.
+CHAR = CType("int", 8, False)
+SCHAR = CType("int", 8, True)
+UCHAR = CType("int", 8, False)
+SHORT = CType("int", 16, True)
+USHORT = CType("int", 16, False)
+CVOID = CType("void")
+
+
+def ptr(target: CType) -> CType:
+    return CType("ptr", target=target)
+
+
+def array(target: CType, count: int) -> CType:
+    return CType("array", target=target, count=count)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""            # '-', '+', '~', '!', '++', '--' (prefix)
+    operand: Expr = None
+
+
+@dataclass
+class PostIncDec(Expr):
+    op: str = ""            # '++' or '--'
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="           # '=', '+=', ...
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None
+    then: Expr = None
+    other: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Deref(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class AddrOf(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class CastExpr(Expr):
+    ctype: CType = None
+    operand: Expr = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    ctype: CType = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    """One or more local declarations: [(name, ctype, init_expr-or-None)]."""
+
+    declarations: List[Tuple[str, CType, Optional[Expr]]] = field(default_factory=list)
+    array_inits: dict = field(default_factory=dict)  # name -> list of const exprs
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None      # ExprStmt or VarDecl
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class SwitchCase:
+    """One ``case N:`` (value) or ``default:`` (value None) label plus the
+    statements up to the next label."""
+
+    value: Optional[int]
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Expr = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Empty(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top-level declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    ctype: CType
+    init: Optional[object] = None    # Expr or list of Exprs (array)
+    is_const: bool = False
+    line: int = 0
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: CType
+    params: List[Param]
+    body: Optional[Block]            # None for declarations
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+
+def has_side_effects(expr: Expr) -> bool:
+    """True if evaluating ``expr`` may write state or call a function.
+
+    Side-effect-free loop conditions may be duplicated by loop rotation.
+    """
+    if expr is None:
+        return False
+    if isinstance(expr, (Assign, CallExpr, PostIncDec)):
+        return True
+    if isinstance(expr, Unary):
+        if expr.op in ("++", "--"):
+            return True
+        return has_side_effects(expr.operand)
+    if isinstance(expr, Binary):
+        return has_side_effects(expr.left) or has_side_effects(expr.right)
+    if isinstance(expr, Ternary):
+        return any(has_side_effects(e) for e in (expr.cond, expr.then, expr.other))
+    if isinstance(expr, Index):
+        return has_side_effects(expr.base) or has_side_effects(expr.index)
+    if isinstance(expr, (Deref, AddrOf, CastExpr)):
+        return has_side_effects(expr.operand)
+    return False

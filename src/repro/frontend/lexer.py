@@ -1,0 +1,142 @@
+"""Lexer for the mini-C dialect the benchmark programs are written in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "int", "char", "short", "long", "void", "unsigned", "signed", "const",
+    "static", "if", "else", "while", "do", "for", "return", "break",
+    "continue", "sizeof", "switch", "case", "default", "goto",
+    "uint8_t", "uint16_t", "uint32_t", "int8_t", "int16_t", "int32_t",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "?", ":", ";", ",", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass
+class Token:
+    kind: str       # 'ident', 'num', 'keyword', 'op', 'eof'
+    text: str
+    value: int = 0  # numeric value for 'num'
+    line: int = 0
+    col: int = 0
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class LexError(Exception):
+    pass
+
+
+def tokenize(source: str, filename: str = "<source>") -> List[Token]:
+    tokens = list(_scan(source, filename))
+    return tokens
+
+
+def _scan(source: str, filename: str) -> Iterator[Token]:
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def error(msg: str):
+        raise LexError(f"{filename}:{line}:{col}: {msg}")
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated block comment")
+            for ch in source[i:end]:
+                if ch == "\n":
+                    line += 1
+                    col = 1
+            i = end + 2
+            continue
+        # preprocessor-style lines are not supported; reject loudly.
+        if c == "#" and col == 1:
+            error("preprocessor directives are not supported")
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, 0, line, col)
+            col += i - start
+            continue
+        # numbers
+        if c.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(source[start:i], 16)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            # integer suffixes
+            while i < n and source[i] in "uUlL":
+                i += 1
+            yield Token("num", source[start:i], value, line, col)
+            col += i - start
+            continue
+        # character literals
+        if c == "'":
+            start = i
+            i += 1
+            if i < n and source[i] == "\\":
+                esc = source[i + 1]
+                table = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39}
+                if esc not in table:
+                    error(f"unsupported escape '\\{esc}'")
+                value = table[esc]
+                i += 2
+            elif i < n:
+                value = ord(source[i])
+                i += 1
+            else:
+                error("unterminated char literal")
+            if i >= n or source[i] != "'":
+                error("unterminated char literal")
+            i += 1
+            yield Token("num", source[start:i], value, line, col)
+            col += i - start
+            continue
+        # operators / punctuation
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, 0, line, col)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error(f"unexpected character {c!r}")
+    yield Token("eof", "", 0, line, col)

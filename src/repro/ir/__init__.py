@@ -1,0 +1,75 @@
+"""repro.ir — a compact, typed, SSA intermediate representation.
+
+The IR mirrors the subset of LLVM IR that WARio's transformations operate
+on: integer arithmetic, loads/stores over a byte-addressed non-volatile
+memory, ``getelementptr`` pointer arithmetic, phi nodes, direct calls, and
+the ``checkpoint`` intrinsic that the back end lowers to the
+double-buffered register-checkpoint runtime.
+"""
+
+from .block import BasicBlock, split_edge
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (
+    BINARY_OPS,
+    CKPT_BACKEND,
+    CKPT_CAUSES,
+    CKPT_FUNCTION_ENTRY,
+    CKPT_FUNCTION_EXIT,
+    CKPT_MIDDLE_END,
+    ICMP_PREDICATES,
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    Checkpoint,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Module
+from .parser import IRParseError, parse_module, parse_type
+from .printer import function_to_str, instruction_to_str, module_to_str
+from .types import (
+    I1,
+    I8,
+    I16,
+    I32,
+    VOID,
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    is_integer,
+    is_pointer,
+    pointer_to,
+)
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value, as_signed, const
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock", "split_edge", "IRBuilder", "Function", "Module",
+    "Alloca", "BinaryOp", "Branch", "Call", "Cast", "Checkpoint",
+    "CondBranch", "GetElementPtr", "ICmp", "Instruction", "Load", "Phi",
+    "Ret", "Select", "Store",
+    "BINARY_OPS", "ICMP_PREDICATES",
+    "CKPT_BACKEND", "CKPT_CAUSES", "CKPT_FUNCTION_ENTRY",
+    "CKPT_FUNCTION_EXIT", "CKPT_MIDDLE_END",
+    "I1", "I8", "I16", "I32", "VOID",
+    "ArrayType", "FunctionType", "IntType", "PointerType", "Type",
+    "VoidType", "is_integer", "is_pointer", "pointer_to",
+    "Argument", "Constant", "GlobalVariable", "UndefValue", "Value",
+    "as_signed", "const",
+    "VerificationError", "verify_function", "verify_module",
+    "IRParseError", "parse_module", "parse_type",
+    "function_to_str", "instruction_to_str", "module_to_str",
+]

@@ -1,0 +1,110 @@
+"""Functions: a CFG of basic blocks plus formal arguments."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from .block import BasicBlock
+from .instructions import Instruction, Phi
+from .types import FunctionType, Type
+from .values import Argument, Value
+
+
+class Function:
+    """A function definition (or declaration when it has no blocks)."""
+
+    def __init__(self, name: str, function_type: FunctionType, param_names=None):
+        self.name = name
+        self.type = function_type
+        self.parent = None  # owning Module
+        self.blocks: List[BasicBlock] = []
+        param_names = param_names or [f"arg{i}" for i in range(len(function_type.param_types))]
+        self.args: List[Argument] = [
+            Argument(ty, pname, i, self)
+            for i, (ty, pname) in enumerate(zip(function_type.param_types, param_names))
+        ]
+        self._name_counter = itertools.count()
+
+    # -- basic structure ---------------------------------------------------
+    @property
+    def return_type(self) -> Type:
+        return self.type.return_type
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    def add_block(self, name: str = "", after: Optional[BasicBlock] = None) -> BasicBlock:
+        block = BasicBlock(self._unique_block_name(name or "bb"), self)
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def _unique_block_name(self, base: str) -> str:
+        existing = {b.name for b in self.blocks}
+        if base not in existing:
+            return base
+        while True:
+            candidate = f"{base}.{next(self._name_counter)}"
+            if candidate not in existing:
+                return candidate
+
+    # -- iteration -----------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    # -- value bookkeeping ----------------------------------------------------
+    def replace_all_uses(self, old: Value, new: Value) -> None:
+        """Rewrite every operand use of ``old`` in this function to ``new``."""
+        for instr in self.instructions():
+            instr.replace_uses_of(old, new)
+
+    def users_of(self, value: Value) -> List[Instruction]:
+        return [
+            instr
+            for instr in self.instructions()
+            if any(op is value for op in instr.operands)
+        ]
+
+    def uses_count(self) -> Dict[int, int]:
+        """Map id(value) -> number of operand uses, for DCE-style passes."""
+        counts: Dict[int, int] = {}
+        for instr in self.instructions():
+            for op in instr.operands:
+                counts[id(op)] = counts.get(id(op), 0) + 1
+        return counts
+
+    def assign_names(self) -> None:
+        """Give every unnamed instruction/block a unique printable name."""
+        counter = itertools.count()
+        seen = set()
+        for block in self.blocks:
+            for instr in block.instructions:
+                if instr.type.size == 0 and not isinstance(instr, Phi):
+                    continue
+                if not instr.name or instr.name in seen:
+                    instr.name = f"v{next(counter)}"
+                    while instr.name in seen:
+                        instr.name = f"v{next(counter)}"
+                seen.add(instr.name)
+
+    def __repr__(self):
+        kind = "declare" if self.is_declaration else "define"
+        return f"<{kind} @{self.name} ({len(self.blocks)} blocks)>"

@@ -1,0 +1,96 @@
+"""Textual (LLVM-flavoured) printing of IR for debugging and golden tests."""
+
+from __future__ import annotations
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    Checkpoint,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+
+
+def _op(value) -> str:
+    return value.short() if value is not None else "<null>"
+
+
+def instruction_to_str(instr: Instruction) -> str:
+    """Render one instruction, without a trailing newline."""
+    if isinstance(instr, Alloca):
+        return f"%{instr.name} = alloca {instr.allocated_type}"
+    if isinstance(instr, Load):
+        return f"%{instr.name} = load {instr.type}, {_op(instr.pointer)}"
+    if isinstance(instr, Store):
+        return f"store {_op(instr.value)}, {_op(instr.pointer)}"
+    if isinstance(instr, BinaryOp):
+        return f"%{instr.name} = {instr.op} {_op(instr.lhs)}, {_op(instr.rhs)}"
+    if isinstance(instr, ICmp):
+        return f"%{instr.name} = icmp {instr.predicate} {_op(instr.lhs)}, {_op(instr.rhs)}"
+    if isinstance(instr, Select):
+        return (
+            f"%{instr.name} = select {_op(instr.condition)}, "
+            f"{_op(instr.true_value)}, {_op(instr.false_value)}"
+        )
+    if isinstance(instr, GetElementPtr):
+        return f"%{instr.name} = gep {_op(instr.base)}, {_op(instr.index)}"
+    if isinstance(instr, Cast):
+        return f"%{instr.name} = {instr.op} {_op(instr.value)} to {instr.type}"
+    if isinstance(instr, Branch):
+        return f"br label %{instr.target.name}"
+    if isinstance(instr, CondBranch):
+        return (
+            f"br {_op(instr.condition)}, label %{instr.true_target.name}, "
+            f"label %{instr.false_target.name}"
+        )
+    if isinstance(instr, Call):
+        args = ", ".join(_op(a) for a in instr.args)
+        if instr.type.size == 0:
+            return f"call @{instr.callee.name}({args})"
+        return f"%{instr.name} = call @{instr.callee.name}({args})"
+    if isinstance(instr, Ret):
+        return f"ret {_op(instr.value)}" if instr.value is not None else "ret void"
+    if isinstance(instr, Phi):
+        pairs = ", ".join(
+            f"[{_op(v)}, %{b.name}]" for v, b in instr.incoming
+        )
+        return f"%{instr.name} = phi {instr.type} {pairs}"
+    if isinstance(instr, Checkpoint):
+        return f"checkpoint !{instr.cause}"
+    return f"<unknown {instr.opcode}>"
+
+
+def function_to_str(function) -> str:
+    function.assign_names()
+    params = ", ".join(f"{a.type} %{a.name}" for a in function.args)
+    lines = [f"define {function.return_type} @{function.name}({params}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {instruction_to_str(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_str(module) -> str:
+    lines = []
+    for gv in module.globals.values():
+        const = "constant" if gv.is_constant else "global"
+        lines.append(f"@{gv.name} = {const} {gv.value_type} {gv.initializer}")
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            params = ", ".join(str(t) for t in fn.type.param_types)
+            lines.append(f"declare {fn.return_type} @{fn.name}({params})")
+        else:
+            lines.append(function_to_str(fn))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,154 @@
+"""Type system for the repro IR.
+
+The IR is deliberately close to (a subset of) LLVM's: integers of a fixed
+bit width, pointers, sized arrays, and function types.  SSA registers only
+ever hold ``i1``/``i8``/``i32`` integers or pointers; arrays exist purely as
+the pointee type of globals and allocas.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__))))
+
+    @property
+    def size(self) -> int:
+        """Size of a value of this type in bytes (data layout)."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return str(self)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value."""
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def __str__(self):
+        return "void"
+
+
+class IntType(Type):
+    """A fixed-width two's-complement integer type."""
+
+    def __init__(self, bits: int):
+        if bits not in (1, 8, 16, 32):
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    @property
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    def __str__(self):
+        return f"i{self.bits}"
+
+    def __eq__(self, other):
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self):
+        return hash(("IntType", self.bits))
+
+
+class PointerType(Type):
+    """A pointer to a value of ``pointee`` type.  Pointers are 32-bit."""
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    @property
+    def size(self) -> int:
+        return 4
+
+    def __str__(self):
+        return f"{self.pointee}*"
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self):
+        return hash(("PointerType", self.pointee))
+
+
+class ArrayType(Type):
+    """A fixed-length array of ``count`` elements of ``element`` type."""
+
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    def __str__(self):
+        return f"[{self.count} x {self.element}]"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self):
+        return hash(("ArrayType", self.element, self.count))
+
+
+class FunctionType(Type):
+    """The signature of a function: return type plus parameter types."""
+
+    def __init__(self, return_type: Type, param_types):
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+
+    @property
+    def size(self) -> int:
+        return 4  # function pointers are 32-bit
+
+    def __str__(self):
+        params = ", ".join(str(t) for t in self.param_types)
+        return f"{self.return_type} ({params})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+        )
+
+    def __hash__(self):
+        return hash(("FunctionType", self.return_type, self.param_types))
+
+
+# Canonical singletons used throughout the compiler.
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+
+
+def pointer_to(ty: Type) -> PointerType:
+    """Convenience constructor for pointer types."""
+    return PointerType(ty)
+
+
+def is_integer(ty: Type) -> bool:
+    return isinstance(ty, IntType)
+
+
+def is_pointer(ty: Type) -> bool:
+    return isinstance(ty, PointerType)

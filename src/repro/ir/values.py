@@ -1,0 +1,143 @@
+"""Value hierarchy of the repro IR.
+
+Everything an instruction can reference as an operand is a :class:`Value`:
+constants, global variables, function arguments, and instructions themselves
+(an instruction *is* the SSA value it defines).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import ArrayType, IntType, PointerType, Type
+
+
+class Value:
+    """Base class for all IR values.
+
+    ``name`` is a purely cosmetic SSA name used by the printer; uniqueness is
+    enforced per function when the printer runs, not at construction time.
+    """
+
+    def __init__(self, ty: Type, name: str = ""):
+        self.type = ty
+        self.name = name
+
+    def short(self) -> str:
+        """Operand-position rendering (e.g. ``%x``, ``42``, ``@g``)."""
+        return f"%{self.name}"
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.short()}>"
+
+
+class Constant(Value):
+    """An integer constant.  Stored as a Python int, wrapped on use."""
+
+    def __init__(self, value: int, ty: Type = IntType(32)):
+        super().__init__(ty)
+        if not isinstance(ty, IntType):
+            raise TypeError("constants must have integer type")
+        self.value = _wrap(value, ty.bits)
+
+    def short(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Constant)
+            and other.value == self.value
+            and other.type == self.type
+        )
+
+    def __hash__(self):
+        return hash(("Constant", self.value, self.type))
+
+
+class UndefValue(Value):
+    """An undefined value (used when a path provides no meaningful value)."""
+
+    def short(self) -> str:
+        return "undef"
+
+
+class GlobalVariable(Value):
+    """A module-level variable living in non-volatile memory.
+
+    The value *is* the address (pointer) of the storage, as in LLVM.
+    ``initializer`` is an int for scalars or a list of ints for arrays;
+    ``None`` zero-initialises.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        value_type: Type,
+        initializer=None,
+        is_constant: bool = False,
+    ):
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant = is_constant
+        self._check_initializer()
+
+    def _check_initializer(self):
+        init = self.initializer
+        if init is None:
+            return
+        if isinstance(self.value_type, ArrayType):
+            if not isinstance(init, (list, tuple)):
+                raise TypeError(f"array global @{self.name} needs list init")
+            if len(init) > self.value_type.count:
+                raise ValueError(f"too many initializers for @{self.name}")
+        elif isinstance(self.value_type, IntType):
+            if not isinstance(init, int):
+                raise TypeError(f"scalar global @{self.name} needs int init")
+        else:
+            raise TypeError(f"unsupported global type {self.value_type}")
+
+    def initial_bytes(self) -> bytes:
+        """Render the initializer as little-endian bytes (zero padded)."""
+        if isinstance(self.value_type, ArrayType):
+            elem = self.value_type.element
+            vals = list(self.initializer or [])
+            vals += [0] * (self.value_type.count - len(vals))
+            out = bytearray()
+            for v in vals:
+                out += _wrap(v, elem.bits * 1 if isinstance(elem, IntType) else 32).to_bytes(
+                    elem.size, "little"
+                )
+            return bytes(out)
+        bits = self.value_type.bits if isinstance(self.value_type, IntType) else 32
+        return _wrap(self.initializer or 0, bits).to_bytes(self.value_type.size, "little")
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, ty: Type, name: str, index: int, function=None):
+        super().__init__(ty, name)
+        self.index = index
+        self.function = function
+
+
+def _wrap(value: int, bits: int) -> int:
+    """Wrap a Python int into the unsigned range of a ``bits``-wide integer."""
+    return value & ((1 << bits) - 1)
+
+
+def as_signed(value: int, bits: int = 32) -> int:
+    """Interpret an unsigned ``bits``-wide value as two's-complement."""
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def const(value: int, ty: Optional[Type] = None) -> Constant:
+    """Shorthand constructor for i32 constants."""
+    return Constant(value, ty or IntType(32))

@@ -1,0 +1,34 @@
+"""repro.transforms — target-independent middle-end passes."""
+
+from .dce import eliminate_dead_code
+from .inline import InlineError, can_inline, inline_always, inline_call
+from .mem2reg import promote_memory_to_registers, promotable_allocas
+from .simplifycfg import simplify_cfg
+from .unroll import UnrollError, UnrolledLoop, can_unroll, unroll_single_block_loop
+from .volatile_cache import cache_volatile_data
+
+
+def optimize_module(module, verify: bool = True) -> None:
+    """The -O3-flavoured cleanup pipeline run before WARio's passes
+    (paper §4.6: always-inline, then the optimisation level)."""
+    from ..ir.verifier import verify_module
+
+    inline_always(module)
+    for function in module.defined_functions():
+        simplify_cfg(function)
+        promote_memory_to_registers(function)
+        eliminate_dead_code(function)
+        simplify_cfg(function)
+    if verify:
+        verify_module(module)
+
+
+__all__ = [
+    "eliminate_dead_code",
+    "InlineError", "can_inline", "inline_always", "inline_call",
+    "promote_memory_to_registers", "promotable_allocas",
+    "simplify_cfg",
+    "UnrollError", "UnrolledLoop", "can_unroll", "unroll_single_block_loop",
+    "optimize_module",
+    "cache_volatile_data",
+]

@@ -1,0 +1,35 @@
+"""Critical-edge splitting.
+
+Run before instruction selection: phi-elimination places parallel copies
+at the end of predecessor blocks, which is only correct when no
+predecessor with multiple successors feeds a block with phis.
+"""
+
+from __future__ import annotations
+
+from ..ir.block import split_edge
+
+
+def split_critical_edges(function) -> int:
+    """Split every edge pred->succ where pred has several successors and
+    succ has phis.  Returns the number of edges split."""
+    count = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in list(function.blocks):
+            if not block.phis():
+                continue
+            for pred in list(block.predecessors):
+                if len(pred.successors) > 1:
+                    split_edge(pred, block, f"{pred.name}.crit")
+                    count += 1
+                    changed = True
+                    break
+            if changed:
+                break
+    return count
+
+
+def run_on_module(module) -> int:
+    return sum(split_critical_edges(f) for f in module.defined_functions())

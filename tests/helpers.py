@@ -1,0 +1,72 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import Machine, iclang
+from repro.emulator import PowerSupply
+
+
+def compile_and_run(
+    source: str,
+    env: str = "plain",
+    power: Optional[PowerSupply] = None,
+    war_check: bool = False,
+    unroll_factor: Optional[int] = None,
+    max_instructions: int = 5_000_000,
+):
+    """Compile mini-C, run to completion, return the machine."""
+    program = iclang(source, env, unroll_factor=unroll_factor)
+    machine = Machine(program, war_check=war_check)
+    machine.run(power=power, max_instructions=max_instructions)
+    return machine
+
+
+def run_main(source: str, env: str = "plain", **globals_spec) -> Dict[str, object]:
+    """Compile + run and read back the requested globals.
+
+    ``globals_spec`` maps a global name to either ``1`` (scalar) or a
+    ``(count, size)`` tuple.
+    """
+    machine = compile_and_run(source, env)
+    out = {}
+    for name, spec in globals_spec.items():
+        if spec == 1:
+            out[name] = machine.read_global(name)
+        else:
+            count, size = spec
+            out[name] = machine.read_global(name, count, size)
+    return out
+
+
+def expr_program(expression: str, declarations: str = "") -> str:
+    """A program computing one integer expression into @result."""
+    return f"""
+    unsigned int result;
+    {declarations}
+    int main(void) {{
+        result = (unsigned int)({expression});
+        return 0;
+    }}
+    """
+
+
+def eval_expr(expression: str, declarations: str = "", env: str = "plain") -> int:
+    """Compile-and-run a single expression, returning @result."""
+    machine = compile_and_run(expr_program(expression, declarations), env)
+    return machine.read_global("result")
+
+
+ALL_ENVIRONMENTS = (
+    "plain",
+    "ratchet",
+    "r-pdg",
+    "epilog-optimizer",
+    "write-clusterer",
+    "loop-write-clusterer",
+    "wario",
+    "wario-expander",
+)
+
+INSTRUMENTED = tuple(e for e in ALL_ENVIRONMENTS if e != "plain")

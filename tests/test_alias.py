@@ -1,0 +1,236 @@
+"""Alias analysis tests across the three precision modes."""
+
+import pytest
+
+from repro.analysis import AFFINE, CONSERVATIVE, PRECISE, AliasAnalysis, loop_info
+from repro.analysis.pointsto import compute_points_to
+from repro.frontend import compile_source
+from repro.ir.instructions import Load, Store
+from repro.transforms import optimize_module
+
+
+def _compile(src):
+    m = compile_source(src)
+    optimize_module(m)
+    return m
+
+
+def _accesses(function):
+    loads = [i for i in function.instructions() if isinstance(i, Load)]
+    stores = [i for i in function.instructions() if isinstance(i, Store)]
+    return loads, stores
+
+
+SRC_TWO_GLOBALS = """
+unsigned int a[8]; unsigned int b[8];
+int main(void) {
+    int i;
+    for (i = 0; i < 8; i++) { b[i] = a[i]; }
+    return 0;
+}
+"""
+
+
+class TestDistinctObjects:
+    @pytest.mark.parametrize("mode", [CONSERVATIVE, PRECISE, AFFINE])
+    def test_different_globals_never_alias(self, mode):
+        m = _compile(SRC_TWO_GLOBALS)
+        f = m.main
+        loads, stores = _accesses(f)
+        aa = AliasAnalysis(f, mode)
+        assert not aa.may_alias(loads[0].pointer, 4, stores[0].pointer, 4)
+
+    @pytest.mark.parametrize("mode", [CONSERVATIVE, PRECISE, AFFINE])
+    def test_same_access_aliases(self, mode):
+        src = """
+        unsigned int a[8];
+        int main(void) { int i; for (i=0;i<8;i++) a[i] = a[i] + 1; return 0; }
+        """
+        m = _compile(src)
+        loads, stores = _accesses(m.main)
+        aa = AliasAnalysis(m.main, mode)
+        assert aa.may_alias(loads[0].pointer, 4, stores[0].pointer, 4)
+        if mode != CONSERVATIVE:
+            assert aa.must_alias(loads[0].pointer, 4, stores[0].pointer, 4)
+
+
+SRC_STENCIL = """
+unsigned int w[80];
+int main(void) {
+    int t;
+    for (t = 3; t < 80; t++) { w[t] = w[t - 3] + 1; }
+    return 0;
+}
+"""
+
+
+class TestAffineOffsets:
+    def test_precise_disambiguates_same_iteration(self):
+        m = _compile(SRC_STENCIL)
+        loads, stores = _accesses(m.main)
+        aa = AliasAnalysis(m.main, PRECISE)
+        assert not aa.may_alias(loads[0].pointer, 4, stores[0].pointer, 4)
+
+    def test_conservative_does_not(self):
+        m = _compile(SRC_STENCIL)
+        loads, stores = _accesses(m.main)
+        aa = AliasAnalysis(m.main, CONSERVATIVE)
+        assert aa.may_alias(loads[0].pointer, 4, stores[0].pointer, 4)
+
+    def test_precise_is_conservative_across_iterations(self):
+        m = _compile(SRC_STENCIL)
+        f = m.main
+        loads, stores = _accesses(f)
+        li = loop_info(f)
+        loop = li.loops[0]
+        aa = AliasAnalysis(f, PRECISE)
+        assert aa.may_alias_cross_iteration(
+            loads[0].pointer, 4, stores[0].pointer, 4, loop
+        )
+
+    def test_affine_proves_cross_iteration_disjoint(self):
+        # load w[t-3] at iteration t can never see a *later* store w[t'].
+        m = _compile(SRC_STENCIL)
+        f = m.main
+        loads, stores = _accesses(f)
+        li = loop_info(f)
+        loop = li.loops[0]
+        aa = AliasAnalysis(f, AFFINE)
+        assert not aa.may_alias_cross_iteration(
+            loads[0].pointer, 4, stores[0].pointer, 4, loop
+        )
+
+    def test_affine_detects_real_backward_distance(self):
+        # store w[t] then a *later* load w[t'-3] does collide (t' = t+3).
+        m = _compile(SRC_STENCIL)
+        f = m.main
+        loads, stores = _accesses(f)
+        li = loop_info(f)
+        loop = li.loops[0]
+        aa = AliasAnalysis(f, AFFINE)
+        assert aa.may_alias_cross_iteration(
+            stores[0].pointer, 4, loads[0].pointer, 4, loop
+        )
+
+
+class TestConstantIndices:
+    SRC = """
+    unsigned char s[16];
+    int main(void) {
+        unsigned char t = s[1];
+        s[1] = s[5];
+        s[5] = t;
+        return 0;
+    }
+    """
+
+    def test_precise_distinguishes_elements(self):
+        m = _compile(self.SRC)
+        loads, stores = _accesses(m.main)
+        aa = AliasAnalysis(m.main, PRECISE)
+        # load s[5] vs store s[1]
+        load5 = loads[1]
+        store1 = stores[0]
+        assert not aa.may_alias(load5.pointer, 1, store1.pointer, 1)
+
+    def test_conservative_merges_object(self):
+        m = _compile(self.SRC)
+        loads, stores = _accesses(m.main)
+        aa = AliasAnalysis(m.main, CONSERVATIVE)
+        assert aa.may_alias(loads[1].pointer, 1, stores[0].pointer, 1)
+
+    def test_byte_range_overlap(self):
+        src = """
+        unsigned char b[8]; unsigned int x;
+        int main(void) { x = b[3]; b[2] = 1; return 0; }
+        """
+        m = _compile(src)
+        loads, stores = _accesses(m.main)
+        aa = AliasAnalysis(m.main, PRECISE)
+        byte_load = [l for l in loads if l.type.size == 1][0]
+        byte_store = [s for s in stores if s.pointer.type.pointee.size == 1][0]
+        assert not aa.may_alias(byte_load.pointer, 1, byte_store.pointer, 1)
+
+
+class TestPointerArguments:
+    SRC = """
+    unsigned int src_buf[8]; unsigned int dst_buf[8]; unsigned int other[8];
+    void copy(unsigned int *s, unsigned int *d) {
+        int i;
+        for (i = 0; i < 8; i++) {
+            d[i] = s[i];
+            d[i] = d[i] ^ (s[i] << 3);
+            d[i] = d[i] + (s[i] >> 2);
+            d[i] = d[i] * 5 + s[i] / 3;
+            d[i] = d[i] - (s[i] & 0x0F);
+            d[i] = d[i] | (s[i] % 7);
+        }
+    }
+    int main(void) { copy(src_buf, dst_buf); return 0; }
+    """
+
+    def test_points_to_separates_arguments(self):
+        m = _compile(self.SRC)
+        pt = compute_points_to(m)
+        f = m.get_function("copy")
+        loads, stores = _accesses(f)
+        aa = AliasAnalysis(f, PRECISE, points_to=pt)
+        assert not aa.may_alias(loads[0].pointer, 4, stores[0].pointer, 4)
+
+    def test_argument_vs_unrelated_global(self):
+        m = _compile(self.SRC)
+        pt = compute_points_to(m)
+        f = m.get_function("copy")
+        loads, stores = _accesses(f)
+        aa = AliasAnalysis(f, PRECISE, points_to=pt)
+        other = m.get_global("other")
+        assert not aa.may_alias(loads[0].pointer, 4, other, 4)
+
+    def test_argument_vs_its_own_target(self):
+        m = _compile(self.SRC)
+        pt = compute_points_to(m)
+        f = m.get_function("copy")
+        loads, _ = _accesses(f)
+        aa = AliasAnalysis(f, PRECISE, points_to=pt)
+        src_buf = m.get_global("src_buf")
+        assert aa.may_alias(loads[0].pointer, 4, src_buf, 4)
+
+    def test_conservative_ignores_points_to(self):
+        m = _compile(self.SRC)
+        pt = compute_points_to(m)
+        f = m.get_function("copy")
+        loads, stores = _accesses(f)
+        aa = AliasAnalysis(f, CONSERVATIVE, points_to=pt)
+        assert aa.may_alias(loads[0].pointer, 4, stores[0].pointer, 4)
+
+    def test_same_argument_constant_offsets(self):
+        src = """
+        unsigned char st[16];
+        void rot(unsigned char *s) {
+            unsigned char t = s[1];
+            int i;
+            s[1] = s[5];
+            s[5] = t;
+            for (i = 0; i < 16; i++) {
+                s[i] = s[i] ^ 0x5A;
+                s[i] = (unsigned char)(s[i] * 3 + 1);
+                s[i] = s[i] & 0x7F;
+                s[i] = s[i] | 0x10;
+                s[i] = (unsigned char)(s[i] - 4);
+                s[i] = (unsigned char)(s[i] + (s[i] >> 3));
+            }
+        }
+        int main(void) { rot(st); return 0; }
+        """
+        m = _compile(src)
+        pt = compute_points_to(m)
+        f = m.get_function("rot")
+        loads, stores = _accesses(f)
+        aa = AliasAnalysis(f, PRECISE, points_to=pt)
+        # load s[5] vs store s[1]: same argument, distinct constant offsets
+        assert not aa.may_alias(loads[1].pointer, 1, stores[0].pointer, 1)
+
+    def test_unknown_mode_rejected(self):
+        m = _compile(self.SRC)
+        with pytest.raises(ValueError):
+            AliasAnalysis(m.main, "telepathic")

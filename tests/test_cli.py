@@ -1,0 +1,112 @@
+"""CLI (`python -m repro`) and disassembler tests."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.backend.disasm import disassemble, format_instruction
+from repro.backend.mir import MInstr, VReg
+from repro import iclang
+
+SOURCE = """
+unsigned int acc[8]; unsigned int total;
+int main(void) {
+    int i; unsigned int t = 0;
+    for (i = 0; i < 8; i++) { acc[i] = acc[i] + 1; t += acc[i]; }
+    total = t;
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCLI:
+    def test_envs_lists_all(self, capsys):
+        assert main(["envs"]) == 0
+        out = capsys.readouterr().out
+        for env in ("plain", "ratchet", "r-pdg", "wario", "wario-expander"):
+            assert env in out
+
+    def test_run_continuous(self, source_file, capsys):
+        code = main(["run", source_file, "--env", "wario",
+                     "--verify-war", "--print-globals", "total,acc:8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WAR verification: clean" in out
+        assert "@total = 8" in out
+        assert "@acc = [1, 1, 1, 1, 1, 1, 1, 1]" in out
+
+    def test_run_intermittent(self, source_file, capsys):
+        code = main(["run", source_file, "--env", "wario", "--power", "5000"])
+        assert code == 0
+        assert "checkpoints" in capsys.readouterr().out
+
+    def test_run_plain_with_war_check_fails(self, source_file, capsys):
+        code = main(["run", source_file, "--env", "plain", "--verify-war"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violations" in out
+
+    def test_run_starving_power_reports(self, source_file, capsys):
+        code = main(["run", source_file, "--env", "wario", "--power", "100"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "execution aborted" in out
+
+    def test_compile_listing(self, source_file, capsys):
+        assert main(["compile", source_file, "--env", "ratchet"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out
+        assert "checkpoint" in out
+        assert ".text" in out
+
+    def test_compile_to_file(self, source_file, tmp_path, capsys):
+        out_path = str(tmp_path / "listing.txt")
+        assert main(["compile", source_file, "-o", out_path]) == 0
+        assert os.path.exists(out_path)
+        listing = open(out_path).read()
+        assert "main:" in listing
+
+    def test_unroll_override(self, source_file, capsys):
+        assert main(["compile", source_file, "--env", "wario", "--unroll", "2"]) == 0
+        two = capsys.readouterr().out
+        assert main(["compile", source_file, "--env", "wario", "--unroll", "8"]) == 0
+        eight = capsys.readouterr().out
+        assert two != eight
+
+
+class TestDisassembler:
+    def test_full_listing_covers_program(self):
+        program = iclang(SOURCE, "wario")
+        listing = disassemble(program)
+        assert f"{len(program.instrs)} instructions" in listing
+        assert f"{program.text_size} bytes" in listing
+        # every line addressable: count instruction rows
+        rows = [l for l in listing.splitlines() if l.startswith("  ")]
+        assert len(rows) == len(program.instrs)
+
+    def test_window(self):
+        program = iclang(SOURCE, "plain")
+        listing = disassemble(program, start=2, count=3)
+        rows = [l for l in listing.splitlines() if l.startswith("  ")]
+        assert len(rows) == 3
+
+    def test_branch_targets_labelled(self):
+        program = iclang(SOURCE, "plain")
+        listing = disassemble(program)
+        assert "->" in listing
+
+    def test_format_instruction_forms(self):
+        assert "push" in format_instruction(MInstr("push", regs=["r4", "lr"]))
+        assert "r4, lr" in format_instruction(MInstr("push", regs=["r4", "lr"]))
+        d = VReg("d", phys="r4")
+        assert format_instruction(MInstr("mov", d, [7])) == "mov         r4, #7"
+        ck = format_instruction(MInstr("checkpoint", cause="middle-end-war"))
+        assert "!middle-end-war" in ck

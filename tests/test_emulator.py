@@ -1,0 +1,247 @@
+"""Emulator tests: WAR checker, power failures, checkpoint restore,
+interrupts, cycle accounting, and emulation limits."""
+
+import pytest
+
+from helpers import compile_and_run
+
+from repro import FixedPeriodPower, Machine, iclang, trace_a, trace_b
+from repro.emulator import (
+    ContinuousPower,
+    CostModel,
+    EmulationLimit,
+    NoForwardProgress,
+    WARChecker,
+)
+
+SRC_LOOP = """
+unsigned int acc[16]; unsigned int total;
+int main(void) {
+    int i; unsigned int t = 0;
+    for (i = 0; i < 16; i++) {
+        acc[i] = acc[i] + (unsigned int)i;
+        t = t + acc[i];
+    }
+    total = t;
+    return 0;
+}
+"""
+
+EXPECTED_ACC = list(range(16))
+EXPECTED_TOTAL = sum(range(16))
+
+
+class TestWARChecker:
+    def test_read_then_write_flags(self):
+        w = WARChecker()
+        w.on_read(100, 4)
+        w.on_write(100, 4)
+        assert not w.clean
+        assert w.violations[0].address == 100
+
+    def test_write_then_read_ok(self):
+        w = WARChecker()
+        w.on_write(100, 4)
+        w.on_read(100, 4)
+        w.on_write(100, 4)
+        assert w.clean
+
+    def test_checkpoint_resets_region(self):
+        w = WARChecker()
+        w.on_read(100, 4)
+        w.on_checkpoint()
+        w.on_write(100, 4)
+        assert w.clean
+        assert w.region_index == 1
+
+    def test_partial_overlap_detected(self):
+        w = WARChecker()
+        w.on_read(100, 4)
+        w.on_write(102, 2)  # overlaps bytes 102-103
+        assert not w.clean
+
+    def test_disjoint_accesses_ok(self):
+        w = WARChecker()
+        w.on_read(100, 4)
+        w.on_write(104, 4)
+        assert w.clean
+
+    def test_one_violation_per_region_address(self):
+        w = WARChecker()
+        w.on_read(100, 4)
+        w.on_write(100, 4)
+        w.on_write(100, 4)
+        assert len(w.violations) == 4  # one per byte, not per repeat
+
+    def test_restore_clears_tracking(self):
+        w = WARChecker()
+        w.on_read(100, 4)
+        w.on_power_restore()
+        w.on_write(100, 4)
+        assert w.clean
+
+
+class TestExecution:
+    def test_plain_continuous(self):
+        machine = compile_and_run(SRC_LOOP)
+        assert machine.read_global("acc", 16) == EXPECTED_ACC
+        assert machine.read_global("total") == EXPECTED_TOTAL
+        assert machine.stats.halted
+
+    def test_plain_flags_war_violations(self):
+        machine = compile_and_run(SRC_LOOP, war_check=True)
+        assert not machine.war.clean  # uninstrumented code has WARs
+
+    def test_instrumented_war_free(self):
+        machine = compile_and_run(SRC_LOOP, env="wario", war_check=True)
+        assert machine.war.clean
+        assert machine.read_global("total") == EXPECTED_TOTAL
+
+    def test_cycles_monotone_with_instrumentation(self):
+        plain = compile_and_run(SRC_LOOP).stats.cycles
+        inst = compile_and_run(SRC_LOOP, env="ratchet").stats.cycles
+        assert inst > plain
+
+    def test_checkpoint_flags_preserved(self):
+        # a checkpoint between cmp and the dependent branch must not
+        # corrupt the comparison (flags are saved by the runtime)
+        src = """
+        unsigned int a; unsigned int out;
+        int main(void) {
+            unsigned int x = a;
+            a = x + 1;  /* WAR: a checkpoint lands nearby */
+            if (a > 0) { out = 7; } else { out = 9; }
+            return 0;
+        }
+        """
+        machine = compile_and_run(src, env="wario", war_check=True)
+        assert machine.read_global("out") == 7
+
+    def test_emulation_limit(self):
+        src = "int main(void) { for (;;) { } return 0; }"
+        program = iclang(src, "plain")
+        machine = Machine(program)
+        with pytest.raises(EmulationLimit):
+            machine.run(max_instructions=1000)
+
+    def test_region_sizes_recorded(self):
+        machine = compile_and_run(SRC_LOOP, env="wario")
+        stats = machine.stats
+        assert stats.checkpoints == len(stats.region_sizes)
+        assert stats.region_max >= stats.region_median
+
+
+class TestIntermittentPower:
+    def test_power_failures_and_recovery(self):
+        program = iclang(SRC_LOOP, "wario")
+        cm = CostModel(boot_cycles=50)
+        machine = Machine(program, cost_model=cm, war_check=True)
+        stats = machine.run(power=FixedPeriodPower(800))
+        assert stats.power_failures > 0
+        assert machine.read_global("acc", 16) == EXPECTED_ACC
+        assert machine.read_global("total") == EXPECTED_TOTAL
+        assert machine.war.clean
+
+    def test_more_failures_with_shorter_periods(self):
+        program = iclang(SRC_LOOP, "wario")
+        cm = CostModel(boot_cycles=50)
+        failures = []
+        for period in (800, 1500, 6000):
+            machine = Machine(iclang(SRC_LOOP, "wario"), cost_model=cm)
+            stats = machine.run(power=FixedPeriodPower(period))
+            failures.append(stats.power_failures)
+        assert failures[0] >= failures[1] >= failures[2]
+
+    def test_no_forward_progress_detected(self):
+        program = iclang(SRC_LOOP, "plain")  # no checkpoints: restart loops
+        cm = CostModel(boot_cycles=50)
+        machine = Machine(program, cost_model=cm)
+        with pytest.raises((NoForwardProgress, EmulationLimit)):
+            machine.run(power=FixedPeriodPower(120), max_instructions=500_000)
+
+    def test_intermittent_costs_more_cycles(self):
+        cm = CostModel(boot_cycles=50)
+        m1 = Machine(iclang(SRC_LOOP, "wario"), cost_model=cm)
+        continuous = m1.run().cycles
+        m2 = Machine(iclang(SRC_LOOP, "wario"), cost_model=cm)
+        intermittent = m2.run(power=FixedPeriodPower(800)).cycles
+        assert intermittent > continuous
+
+    def test_continuous_power_object(self):
+        machine = Machine(iclang(SRC_LOOP, "wario"))
+        stats = machine.run(power=ContinuousPower())
+        assert stats.power_failures == 0
+
+    def test_trace_power_deterministic(self):
+        assert trace_a().sample(10) == trace_a().sample(10)
+        assert trace_a().sample(5) != trace_b().sample(5)
+
+    def test_memory_survives_registers_do_not(self):
+        # after a failure, NVM keeps the partial array; execution resumes
+        # from the checkpoint and still converges to the right answer
+        program = iclang(SRC_LOOP, "wario")
+        cm = CostModel(boot_cycles=50)
+        machine = Machine(program, cost_model=cm)
+        stats = machine.run(power=FixedPeriodPower(800))
+        assert stats.power_failures >= 1
+        assert stats.reexecuted_cycles > 0
+        assert machine.read_global("total") == EXPECTED_TOTAL
+
+
+class TestInterrupts:
+    SRC_CALL = """
+    unsigned int g;
+    unsigned int work(unsigned int x) {
+        int i;
+        for (i = 0; i < 40; i++) { x = x * 3 + 1; x = x ^ (x >> 2); x = x + (unsigned int)i; }
+        return x;
+    }
+    int main(void) {
+        unsigned int r = 0; int k;
+        for (k = 0; k < 6; k++) { r = r + work((unsigned int)k); }
+        g = r;
+        return 0;
+    }
+    """
+
+    def _expected(self):
+        M = 0xFFFFFFFF
+
+        def work(x):
+            for i in range(40):
+                x = (x * 3 + 1) & M
+                x = (x ^ (x >> 2)) & M
+                x = (x + i) & M
+            return x
+
+        r = 0
+        for k in range(6):
+            r = (r + work(k)) & M
+        return r
+
+    def test_interrupts_do_not_change_results(self):
+        program = iclang(self.SRC_CALL, "wario")
+        machine = Machine(program, interrupt_interval=997)
+        stats = machine.run()
+        assert stats.interrupts > 0
+        assert machine.read_global("g") == self._expected()
+
+    def test_instrumented_code_war_free_under_interrupts(self):
+        program = iclang(self.SRC_CALL, "wario")
+        machine = Machine(program, war_check=True, interrupt_interval=733)
+        machine.run()
+        assert machine.war.clean
+
+    def test_ratchet_also_war_free_under_interrupts(self):
+        program = iclang(self.SRC_CALL, "ratchet")
+        machine = Machine(program, war_check=True, interrupt_interval=733)
+        machine.run()
+        assert machine.war.clean
+
+    def test_interrupts_masked_in_wario_epilogue(self):
+        # cpsid defers interrupts; they fire after cpsie and never corrupt
+        program = iclang(self.SRC_CALL, "wario")
+        machine = Machine(program, war_check=True, interrupt_interval=101)
+        stats = machine.run()
+        assert machine.war.clean
+        assert stats.interrupts > 0

@@ -1,0 +1,80 @@
+"""Light-weight structural tests of the evaluation plumbing (heavier
+grid checks live in benchmarks/)."""
+
+from repro.benchsuite import BENCHMARKS, PAPER_NAMES, get_benchmark
+from repro.eval.runner import FIGURE4_ENVIRONMENTS
+from repro.emulator import FixedPeriodPower, trace_a, trace_b
+from repro.emulator.stats import ExecutionStats
+
+
+class TestBenchmarkRegistry:
+    def test_the_six_paper_benchmarks(self):
+        assert list(BENCHMARKS) == [
+            "coremark", "sha", "crc", "tiny-aes", "dijkstra", "picojpeg",
+        ]
+
+    def test_paper_names_complete(self):
+        assert set(PAPER_NAMES) == set(BENCHMARKS)
+
+    def test_get_benchmark_errors(self):
+        import pytest
+
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("linpack")
+
+    def test_reference_outputs_declared(self):
+        for bench in BENCHMARKS.values():
+            expected = bench.expected()
+            for output in bench.outputs:
+                assert output.name in expected, (bench.name, output.name)
+
+    def test_sources_are_nonempty_c(self):
+        for bench in BENCHMARKS.values():
+            assert "int main(void)" in bench.source
+
+
+class TestEnvironmentsGrid:
+    def test_figure4_environment_order(self):
+        assert FIGURE4_ENVIRONMENTS[0] == "ratchet"
+        assert FIGURE4_ENVIRONMENTS[-1] == "wario-expander"
+        assert len(FIGURE4_ENVIRONMENTS) == 7
+
+
+class TestStats:
+    def test_percentiles(self):
+        stats = ExecutionStats()
+        for size in (10, 20, 30, 40):
+            stats.record_checkpoint("middle-end-war", size)
+        assert stats.region_median == 25
+        assert stats.region_mean == 25
+        assert stats.region_max == 40
+        assert stats.region_percentile(0.0) == 10
+        assert stats.region_percentile(1.0) == 40
+
+    def test_empty_stats(self):
+        stats = ExecutionStats()
+        assert stats.region_median == 0.0
+        assert stats.region_mean == 0.0
+        assert stats.region_max == 0
+
+    def test_summary_mentions_causes(self):
+        stats = ExecutionStats()
+        stats.record_checkpoint("function-exit", 5)
+        assert "function-exit=1" in stats.summary()
+
+
+class TestPowerModels:
+    def test_fixed_period_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FixedPeriodPower(0)
+
+    def test_fixed_period_stream(self):
+        gen = FixedPeriodPower(123).on_durations()
+        assert [next(gen) for _ in range(3)] == [123, 123, 123]
+
+    def test_trace_bounds(self):
+        for trace in (trace_a(), trace_b()):
+            for duration in trace.sample(200):
+                assert trace.min_cycles <= duration <= trace.max_cycles

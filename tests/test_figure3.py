@@ -1,0 +1,190 @@
+"""Reproduction of the paper's Figure 3 walkthrough.
+
+Figure 3 traces the Loop Write Clusterer over a three-WAR loop::
+
+    loop:  %0 = load a ; %x = add 1, %0 ; store %x, a ; if <cond> exit
+
+unrolled 3x, with the stores clustered at the end, early exits gaining
+writeback copies, and dependent loads rewritten to forward the postponed
+value.  These tests assert each structural step on real IR, then the
+behavioural consequence: one checkpoint per three iterations.
+"""
+
+import pytest
+
+from repro import Machine, iclang
+from repro.analysis import AliasAnalysis, loop_info
+from repro.core import insert_checkpoints
+from repro.core.loop_write_clusterer import cluster_loop_writes
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.instructions import Checkpoint, Select, Store
+from repro.transforms import optimize_module
+
+# Figure 1/3's snippet as a loop over three independent NV variables:
+# each iteration reads and increments a, b, c — three WARs.
+SOURCE = """
+unsigned int a; unsigned int b; unsigned int c;
+unsigned int rounds;
+int main(void) {
+    int i;
+    for (i = 0; i < 30; i++) {
+        a = a + 1;
+        b = b + 1;
+        c = c + 1;
+    }
+    rounds = 30;
+    return 0;
+}
+"""
+
+
+def _prepared():
+    module = compile_source(SOURCE)
+    optimize_module(module)
+    return module
+
+
+class TestUnrollAndCluster:
+    def test_loop_is_a_candidate(self):
+        from repro.core.loop_write_clusterer import is_candidate
+
+        module = _prepared()
+        f = module.main
+        li = loop_info(f)
+        loop = li.loops[0]
+        aa = AliasAnalysis(f, "precise")
+        assert is_candidate(loop, aa)
+
+    def test_stores_clustered_at_loop_end(self):
+        module = _prepared()
+        report = cluster_loop_writes(module, unroll_factor=3)
+        assert report.loops_transformed == 1
+        assert report.stores_postponed == 9  # 3 stores x 3 replicas
+        verify_module(module)
+        f = module.main
+        li = loop_info(f)
+        loop = [l for l in li.loops][0]
+        # the last replica ends with the store cluster just before the
+        # terminator (Figure 3, ClusterWarWrites)
+        chain_blocks = loop.blocks
+        last = [b for b in chain_blocks if loop.header in b.successors][0]
+        tail = last.instructions[-10:-1]
+        stores = [i for i in tail if isinstance(i, Store)]
+        assert len(stores) == 9
+
+    def test_early_exits_get_writebacks(self):
+        module = _prepared()
+        report = cluster_loop_writes(module, unroll_factor=3)
+        # replicas 1 and 2 exit early past 3 and 6 postponed stores
+        assert report.early_exit_writebacks == 3 + 6
+        verify_module(module)
+
+    def test_one_checkpoint_per_unrolled_iteration(self):
+        module = _prepared()
+        cluster_loop_writes(module, unroll_factor=3)
+        insert_checkpoints(module)
+        verify_module(module)
+        f = module.main
+        li = loop_info(f)
+        loop = li.loops[0]
+        in_loop_ckpts = [
+            i
+            for block in loop.blocks
+            for i in block.instructions
+            if isinstance(i, Checkpoint)
+        ]
+        # Figure 3's end state: a single checkpoint covers all three
+        # iterations' WARs inside the loop body
+        assert len(in_loop_ckpts) == 1
+
+    def test_checkpoint_precedes_the_cluster(self):
+        module = _prepared()
+        cluster_loop_writes(module, unroll_factor=3)
+        insert_checkpoints(module)
+        f = module.main
+        li = loop_info(f)
+        loop = li.loops[0]
+        for block in loop.blocks:
+            instrs = block.instructions
+            for idx, instr in enumerate(instrs):
+                if isinstance(instr, Checkpoint):
+                    after = instrs[idx + 1 :]
+                    assert any(isinstance(i, Store) for i in after), (
+                        "the checkpoint must sit before the postponed stores"
+                    )
+
+
+class TestBehaviour:
+    def test_executed_checkpoints_reduced_nine_fold(self):
+        """Figure 1 middle -> Figure 1 right -> Figure 3 end state.
+
+        The interleaved loads put the three WARs' gaps in disjoint
+        positions, so Ratchet/R-PDG need one checkpoint per WAR (3 per
+        iteration = 90).  The Write Clusterer alone merges them to one
+        per iteration (30).  The Loop Write Clusterer at N=3 reaches one
+        per three iterations (10)."""
+        baseline = Machine(iclang(SOURCE, "r-pdg", unroll_factor=1))
+        base_mid = baseline.run().checkpoint_causes.get("middle-end-war", 0)
+        wc = Machine(iclang(SOURCE, "write-clusterer", unroll_factor=1))
+        wc_mid = wc.run().checkpoint_causes.get("middle-end-war", 0)
+        clustered = Machine(iclang(SOURCE, "loop-write-clusterer", unroll_factor=3))
+        clus_mid = clustered.run().checkpoint_causes.get("middle-end-war", 0)
+        assert base_mid == 90
+        assert wc_mid == 30
+        assert clus_mid == 10
+
+    @pytest.mark.parametrize("factor", [2, 3, 5, 8])
+    def test_results_identical_at_any_factor(self, factor):
+        machine = Machine(
+            iclang(SOURCE, "wario", unroll_factor=factor), war_check=True
+        )
+        machine.run()
+        assert machine.read_global("a") == 30
+        assert machine.read_global("b") == 30
+        assert machine.read_global("c") == 30
+        assert machine.war.clean
+
+    def test_trip_count_not_divisible_by_factor(self):
+        # 30 % 4 != 0: the early-exit writebacks must complete the tail
+        machine = Machine(iclang(SOURCE, "wario", unroll_factor=4), war_check=True)
+        machine.run()
+        assert machine.read_global("a") == 30
+        assert machine.war.clean
+
+
+class TestDependentReads:
+    # variant where iteration i+1 reads what iteration i wrote through a
+    # may-alias subscript, forcing Figure 3's select-chain instrumentation
+    SOURCE_ALIAS = """
+    unsigned int buf[40]; unsigned int idx[40];
+    int main(void) {
+        int i;
+        for (i = 0; i < 40; i++) { idx[i] = (unsigned int)i; }
+        for (i = 1; i < 38; i++) {
+            buf[idx[i]] = buf[idx[i - 1]] + 2;
+        }
+        return 0;
+    }
+    """
+
+    def test_select_chain_inserted(self):
+        module = compile_source(self.SOURCE_ALIAS)
+        optimize_module(module)
+        report = cluster_loop_writes(module, unroll_factor=3)
+        verify_module(module)
+        if report.loops_transformed:
+            assert report.reads_instrumented > 0
+            f = module.main
+            assert any(isinstance(i, Select) for i in f.instructions())
+
+    def test_forwarded_values_correct(self):
+        machine = Machine(
+            iclang(self.SOURCE_ALIAS, "wario", unroll_factor=3), war_check=True
+        )
+        machine.run()
+        buf = [0] * 40
+        for i in range(1, 38):
+            buf[i] = buf[i - 1] + 2
+        assert machine.read_global("buf", 40) == buf
+        assert machine.war.clean

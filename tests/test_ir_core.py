@@ -1,0 +1,317 @@
+"""Unit tests for the IR core: types, values, instructions, blocks,
+functions, modules, builder, printer."""
+
+import pytest
+
+from repro.ir import (
+    I1,
+    I8,
+    I16,
+    I32,
+    VOID,
+    ArrayType,
+    BasicBlock,
+    Branch,
+    Checkpoint,
+    CondBranch,
+    Constant,
+    FunctionType,
+    GetElementPtr,
+    ICmp,
+    IntType,
+    IRBuilder,
+    Load,
+    Module,
+    Phi,
+    PointerType,
+    Ret,
+    Store,
+    UndefValue,
+    as_signed,
+    function_to_str,
+    instruction_to_str,
+    module_to_str,
+)
+from repro.ir.instructions import BinaryOp, CKPT_MIDDLE_END
+
+
+class TestTypes:
+    def test_int_sizes(self):
+        assert I1.size == 1
+        assert I8.size == 1
+        assert I16.size == 2
+        assert I32.size == 4
+
+    def test_void_size(self):
+        assert VOID.size == 0
+
+    def test_pointer_size(self):
+        assert PointerType(I32).size == 4
+        assert PointerType(ArrayType(I8, 100)).size == 4
+
+    def test_array_size(self):
+        assert ArrayType(I32, 10).size == 40
+        assert ArrayType(I8, 7).size == 7
+        assert ArrayType(ArrayType(I32, 4), 3).size == 48
+
+    def test_type_equality(self):
+        assert IntType(32) == IntType(32)
+        assert IntType(32) != IntType(8)
+        assert PointerType(I32) == PointerType(IntType(32))
+        assert ArrayType(I32, 4) != ArrayType(I32, 5)
+
+    def test_type_hashable(self):
+        assert len({IntType(32), IntType(32), IntType(8)}) == 2
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_str(self):
+        assert str(I32) == "i32"
+        assert str(PointerType(I8)) == "i8*"
+        assert str(ArrayType(I32, 3)) == "[3 x i32]"
+
+    def test_function_type(self):
+        ft = FunctionType(I32, [I32, PointerType(I8)])
+        assert ft.return_type == I32
+        assert len(ft.param_types) == 2
+
+
+class TestValues:
+    def test_constant_wraps(self):
+        assert Constant(-1).value == 0xFFFFFFFF
+        assert Constant((1 << 33) + 2).value == 2
+        assert Constant(255, I8).value == 255
+        assert Constant(256, I8).value == 0
+
+    def test_constant_equality(self):
+        assert Constant(5) == Constant(5)
+        assert Constant(5) != Constant(6)
+        assert Constant(5, I8) != Constant(5, I32)
+
+    def test_as_signed(self):
+        assert as_signed(0xFFFFFFFF) == -1
+        assert as_signed(5) == 5
+        assert as_signed(0x80000000) == -(1 << 31)
+        assert as_signed(0xFF, 8) == -1
+
+    def test_constant_non_int_type_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(1, PointerType(I32))
+
+
+class TestGlobals:
+    def test_scalar_initial_bytes(self):
+        m = Module()
+        g = m.add_global("x", I32, 0x01020304)
+        assert g.initial_bytes() == bytes([4, 3, 2, 1])
+
+    def test_array_initial_bytes_padded(self):
+        m = Module()
+        g = m.add_global("a", ArrayType(I32, 3), [1, 2])
+        assert g.initial_bytes() == bytes([1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0])
+
+    def test_byte_array(self):
+        m = Module()
+        g = m.add_global("b", ArrayType(I8, 3), [10, 300, 7])
+        assert g.initial_bytes() == bytes([10, 300 & 0xFF, 7])
+
+    def test_zero_init(self):
+        m = Module()
+        g = m.add_global("z", I32)
+        assert g.initial_bytes() == bytes(4)
+
+    def test_duplicate_global_rejected(self):
+        m = Module()
+        m.add_global("x", I32)
+        with pytest.raises(ValueError):
+            m.add_global("x", I32)
+
+    def test_too_many_initializers(self):
+        m = Module()
+        with pytest.raises(ValueError):
+            m.add_global("a", ArrayType(I32, 2), [1, 2, 3])
+
+    def test_global_is_pointer_valued(self):
+        m = Module()
+        g = m.add_global("x", I32)
+        assert isinstance(g.type, PointerType)
+        assert g.type.pointee == I32
+
+
+def _simple_function():
+    m = Module()
+    f = m.add_function("f", FunctionType(I32, [I32]))
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    v = b.add(f.args[0], b.const(1), "v")
+    b.ret(v)
+    return m, f, v
+
+
+class TestInstructions:
+    def test_binop_roundtrip(self):
+        _, _, v = _simple_function()
+        assert v.opcode == "add"
+        assert v.lhs.name == "arg0"
+
+    def test_bad_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("fancy", Constant(1), Constant(2))
+
+    def test_bad_icmp_rejected(self):
+        with pytest.raises(ValueError):
+            ICmp("weird", Constant(1), Constant(2))
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(Constant(1))
+
+    def test_store_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Store(Constant(1), Constant(2))
+
+    def test_load_type_follows_pointee(self):
+        m = Module()
+        g8 = m.add_global("c", I8)
+        assert Load(g8).type == I8
+
+    def test_gep_element_type(self):
+        m = Module()
+        g = m.add_global("a", ArrayType(I32, 4))
+        gep = GetElementPtr(g, Constant(1))
+        assert gep.type == PointerType(I32)
+        assert gep.element_size == 4
+
+    def test_gep_on_nested_array(self):
+        m = Module()
+        g = m.add_global("m", ArrayType(ArrayType(I32, 4), 3))
+        gep = GetElementPtr(g, Constant(1))
+        assert gep.type == PointerType(ArrayType(I32, 4))
+        assert gep.element_size == 16
+
+    def test_terminator_classification(self):
+        m, f, _ = _simple_function()
+        term = f.entry.terminator
+        assert isinstance(term, Ret)
+        assert term.is_terminator
+
+    def test_phi_incoming_api(self):
+        phi = Phi(I32, "p")
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        phi.add_incoming(Constant(1), b1)
+        phi.add_incoming(Constant(2), b2)
+        assert phi.incoming_for(b1) == Constant(1)
+        phi.set_incoming_for(b1, Constant(9))
+        assert phi.incoming_for(b1) == Constant(9)
+        phi.remove_incoming(b2)
+        assert len(phi.incoming) == 1
+
+    def test_checkpoint_cause_validated(self):
+        Checkpoint(CKPT_MIDDLE_END)
+        with pytest.raises(ValueError):
+            Checkpoint("because")
+
+    def test_clone_detached(self):
+        _, f, v = _simple_function()
+        c = v.clone()
+        assert c is not v
+        assert c.parent is None
+        assert c.operands == v.operands
+
+    def test_memory_classification(self):
+        m = Module()
+        g = m.add_global("x", I32)
+        assert Load(g).may_read_memory and not Load(g).may_write_memory
+        st = Store(Constant(1), g)
+        assert st.may_write_memory and st.has_side_effects
+
+    def test_replace_uses_of(self):
+        _, f, v = _simple_function()
+        new = Constant(42)
+        v.replace_uses_of(f.args[0], new)
+        assert v.lhs is new
+
+
+class TestBlocksAndFunctions:
+    def test_successors_predecessors(self):
+        m = Module()
+        f = m.add_function("f", FunctionType(VOID, []))
+        a, b, c = f.add_block("a"), f.add_block("b"), f.add_block("c")
+        a.append(CondBranch(Constant(1, I1), b, c))
+        b.append(Branch(c))
+        c.append(Ret())
+        assert a.successors == [b, c]
+        assert set(x.name for x in c.predecessors) == {"a", "b"}
+
+    def test_insert_before_terminator(self):
+        m, f, v = _simple_function()
+        ck = Checkpoint(CKPT_MIDDLE_END)
+        f.entry.insert_before_terminator(ck)
+        assert f.entry.instructions[-2] is ck
+
+    def test_unique_block_names(self):
+        m = Module()
+        f = m.add_function("f", FunctionType(VOID, []))
+        b1 = f.add_block("x")
+        b2 = f.add_block("x")
+        assert b1.name != b2.name
+
+    def test_replace_successor(self):
+        m = Module()
+        f = m.add_function("f", FunctionType(VOID, []))
+        a, b, c = f.add_block("a"), f.add_block("b"), f.add_block("c")
+        a.append(Branch(b))
+        b.append(Ret())
+        c.append(Ret())
+        a.replace_successor(b, c)
+        assert a.successors == [c]
+
+    def test_users_of(self):
+        m, f, v = _simple_function()
+        users = f.users_of(f.args[0])
+        assert users == [v]
+
+    def test_printer_smoke(self):
+        m, f, _ = _simple_function()
+        text = function_to_str(f)
+        assert "define i32 @f" in text
+        assert "add" in text
+        assert "ret" in text
+        assert "@f" in module_to_str(m)
+
+    def test_instruction_to_str_forms(self):
+        m = Module()
+        g = m.add_global("x", I32)
+        assert "load" in instruction_to_str(Load(g, "v"))
+        assert "store" in instruction_to_str(Store(Constant(1), g))
+        assert "checkpoint" in instruction_to_str(Checkpoint(CKPT_MIDDLE_END))
+
+    def test_module_link(self):
+        m1, m2 = Module("a"), Module("b")
+        m1.add_global("x", I32)
+        m2.add_global("y", I32)
+        m2.add_function("g", FunctionType(VOID, []))
+        m1.link(m2)
+        assert set(m1.globals) == {"x", "y"}
+        assert "g" in m1.functions
+
+    def test_module_link_collision(self):
+        m1, m2 = Module("a"), Module("b")
+        m1.add_global("x", I32)
+        m2.add_global("x", I32)
+        with pytest.raises(ValueError):
+            m1.link(m2)
+
+    def test_link_declaration_resolution(self):
+        m1, m2 = Module("a"), Module("b")
+        m1.add_function("f", FunctionType(VOID, []))  # declaration (no blocks)
+        f2 = m2.add_function("f", FunctionType(VOID, []))
+        f2.add_block("entry").append(Ret())
+        m1.link(m2)
+        assert not m1.get_function("f").is_declaration
+
+    def test_undef_value(self):
+        u = UndefValue(I32)
+        assert u.short() == "undef"

@@ -1,0 +1,199 @@
+"""Instruction-level emulator semantics, driven through tiny compiled
+programs that isolate particular machine behaviours."""
+
+import pytest
+
+from helpers import compile_and_run
+
+from repro import Machine, iclang
+from repro.emulator import CostModel
+
+M32 = 0xFFFFFFFF
+
+
+class TestShifts:
+    @pytest.mark.parametrize(
+        "amount,expected",
+        [(0, 1), (1, 2), (31, 0x80000000)],
+    )
+    def test_shift_left(self, amount, expected):
+        src = f"""
+        unsigned int r; unsigned int amt = {amount};
+        int main(void) {{ r = 1 << (int)amt; return 0; }}
+        """
+        machine = compile_and_run(src)
+        assert machine.read_global("r") == expected
+
+    def test_variable_shift_uses_register(self):
+        src = """
+        unsigned int r; unsigned int v = 0xF0F0F0F0;
+        int shifts[4] = { 1, 4, 8, 28 };
+        int main(void) {
+            int i; unsigned int acc = 0;
+            for (i = 0; i < 4; i++) { acc = acc ^ (v >> shifts[i]); }
+            r = acc;
+            return 0;
+        }
+        """
+        machine = compile_and_run(src)
+        expected = 0
+        for s in (1, 4, 8, 28):
+            expected ^= 0xF0F0F0F0 >> s
+        assert machine.read_global("r") == expected
+
+
+class TestDivision:
+    def test_division_by_zero_yields_zero(self):
+        # ARM semantics (SDIV/UDIV with DIV_0_TRP clear): result is 0
+        src = """
+        unsigned int r; unsigned int q; unsigned int zero = 0;
+        int main(void) {
+            r = 100 / zero;
+            q = 100 % (int)zero;
+            return 0;
+        }
+        """
+        machine = compile_and_run(src)
+        assert machine.read_global("r") == 0
+        assert machine.read_global("q") == 100  # 100 - 0*0
+
+    def test_int_min_division(self):
+        src = """
+        unsigned int r; int big = -2147483647 - 1;
+        int main(void) { r = (unsigned int)(big / 2); return 0; }
+        """
+        machine = compile_and_run(src)
+        assert machine.read_global("r") == (-(1 << 30)) & M32
+
+
+class TestMemoryWidths:
+    def test_byte_halfword_word_stores(self):
+        src = """
+        unsigned char b; unsigned short h; unsigned int w;
+        unsigned int rb; unsigned int rh; unsigned int rw;
+        int main(void) {
+            b = (unsigned char)0x1FF;
+            h = (unsigned short)0x1FFFF;
+            w = 0xDEADBEEF;
+            rb = b; rh = h; rw = w;
+            return 0;
+        }
+        """
+        machine = compile_and_run(src)
+        assert machine.read_global("rb") == 0xFF
+        assert machine.read_global("rh") == 0xFFFF
+        assert machine.read_global("rw") == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        src = """
+        unsigned int w = 0x04030201;
+        unsigned int r;
+        int main(void) {
+            unsigned char *p = (unsigned char *)0;
+            r = 0;
+            return 0;
+        }
+        """
+        machine = compile_and_run(src)
+        addr = machine.program.global_addr["w"]
+        assert machine.memory[addr : addr + 4] == bytes([1, 2, 3, 4])
+
+
+class TestCheckpointRuntime:
+    def test_double_buffering_survives_failure_right_after_checkpoint(self):
+        # with instruction-granular failures, a checkpoint is atomic: the
+        # active buffer always holds a complete snapshot
+        src = """
+        unsigned int g;
+        int main(void) {
+            int i;
+            for (i = 0; i < 40; i++) { g = g + 1; }
+            return 0;
+        }
+        """
+        program = iclang(src, "ratchet")
+        machine = Machine(program, cost_model=CostModel(boot_cycles=10))
+        from repro.emulator import FixedPeriodPower
+        stats = machine.run(power=FixedPeriodPower(200))
+        assert machine.read_global("g") == 40
+        assert stats.power_failures > 0
+
+    def test_checkpoint_cost_charged(self):
+        src = """
+        unsigned int g;
+        int main(void) { g = g + 1; return 0; }
+        """
+        cheap = Machine(
+            iclang(src, "ratchet"), cost_model=CostModel(checkpoint_cycles=1)
+        ).run()
+        pricey = Machine(
+            iclang(src, "ratchet"), cost_model=CostModel(checkpoint_cycles=500)
+        ).run()
+        assert pricey.cycles > cheap.cycles
+        assert pricey.checkpoints == cheap.checkpoints
+
+    def test_taken_branches_cost_refill(self):
+        src = """
+        unsigned int g;
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) { g = g + 1; }
+            return 0;
+        }
+        """
+        no_refill = Machine(
+            iclang(src, "plain"), cost_model=CostModel(pipeline_refill=0)
+        ).run()
+        refill = Machine(
+            iclang(src, "plain"), cost_model=CostModel(pipeline_refill=5)
+        ).run()
+        assert refill.cycles > no_refill.cycles
+        assert refill.instructions == no_refill.instructions
+
+
+class TestStackDiscipline:
+    def test_nested_calls_restore_registers(self):
+        src = """
+        unsigned int r;
+        int leaf(int x) {
+            int i; int acc = x;
+            for (i = 0; i < 45; i++) { acc = acc * 5 + 3; acc = acc ^ (acc >> 7); }
+            return acc;
+        }
+        int mid(int x) {
+            int a = leaf(x);
+            int b = leaf(x + 1);
+            return a ^ b;
+        }
+        int main(void) {
+            int keep = 1234567;
+            int got = mid(3);
+            r = (unsigned int)(keep + got);
+            return 0;
+        }
+        """
+        def leaf(x):
+            acc = x
+            for _ in range(45):
+                acc = (acc * 5 + 3) & M32
+                signed = acc - (1 << 32) if acc >= 1 << 31 else acc
+                acc = (acc ^ (signed >> 7)) & M32  # C: int >> is arithmetic
+            return acc
+
+        expected = (1234567 + (leaf(3) ^ leaf(4))) & M32
+        for env in ("plain", "wario"):
+            machine = compile_and_run(src, env=env)
+            assert machine.read_global("r") == expected, env
+
+    def test_recursion_depth_stack(self):
+        src = """
+        unsigned int r;
+        unsigned int down(int n) {
+            if (n == 0) return 7;
+            return down(n - 1) + 1;
+        }
+        int main(void) { r = down(60); return 0; }
+        """
+        machine = compile_and_run(src, env="wario", war_check=True)
+        assert machine.read_global("r") == 67
+        assert machine.war.clean

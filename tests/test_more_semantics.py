@@ -1,0 +1,202 @@
+"""Additional end-to-end semantics: pointer idioms, conversions, and
+edge cases around the calling convention and memory model."""
+
+import pytest
+
+from helpers import compile_and_run, run_main
+
+from repro import Machine, iclang
+from repro.emulator import EmulationError
+
+M32 = 0xFFFFFFFF
+
+
+class TestPointerIdioms:
+    def test_pointer_compound_assignment(self):
+        src = """
+        unsigned int a[8]; unsigned int r;
+        int main(void) {
+            unsigned int *p = a;
+            int i;
+            for (i = 0; i < 8; i++) a[i] = (unsigned int)i * 2;
+            p += 3;
+            r = *p;
+            p -= 2;
+            r = r * 100 + *p;
+            return 0;
+        }
+        """
+        assert run_main(src, r=1)["r"] == 6 * 100 + 2
+
+    def test_deref_post_increment(self):
+        src = """
+        unsigned int a[4]; unsigned int r;
+        int main(void) {
+            unsigned int *p = a;
+            *p++ = 10;
+            *p++ = 20;
+            *p = 30;
+            r = a[0] + a[1] * 10 + a[2] * 100;
+            return 0;
+        }
+        """
+        assert run_main(src, r=1)["r"] == 10 + 200 + 3000
+
+    def test_pointer_into_middle_of_array(self):
+        src = """
+        unsigned int a[10]; unsigned int r;
+        void fill(unsigned int *p, int n, unsigned int v) {
+            int i;
+            for (i = 0; i < n; i++) p[i] = v;
+        }
+        int main(void) {
+            fill(a, 10, 1);
+            fill(a + 4, 3, 9);
+            r = a[3] * 100 + a[4] * 10 + a[7];
+            return 0;
+        }
+        """
+        assert run_main(src, r=1)["r"] == 100 + 90 + 1
+
+    def test_swap_through_pointers(self):
+        src = """
+        unsigned int x = 3; unsigned int y = 8;
+        void swap(unsigned int *a, unsigned int *b) {
+            unsigned int t = *a;
+            *a = *b;
+            *b = t;
+        }
+        int main(void) { swap(&x, &y); return 0; }
+        """
+        out = run_main(src, x=1, y=1)
+        assert (out["x"], out["y"]) == (8, 3)
+
+    def test_double_pointer(self):
+        src = """
+        unsigned int a = 5; unsigned int r;
+        int main(void) {
+            unsigned int *p = &a;
+            unsigned int **pp = &p;
+            **pp = 42;
+            r = a;
+            return 0;
+        }
+        """
+        assert run_main(src, r=1)["r"] == 42
+
+
+class TestConversions:
+    def test_char_arithmetic_promotes(self):
+        src = """
+        unsigned char a = 200; unsigned char b = 100; unsigned int r;
+        int main(void) {
+            r = a + b;        /* promoted to int: 300, no wrap */
+            return 0;
+        }
+        """
+        assert run_main(src, r=1)["r"] == 300
+
+    def test_char_store_wraps(self):
+        src = """
+        unsigned char a = 200; unsigned char c; unsigned int r;
+        int main(void) {
+            c = (unsigned char)(a + 100);
+            r = c;
+            return 0;
+        }
+        """
+        assert run_main(src, r=1)["r"] == 300 & 0xFF
+
+    def test_mixed_sign_comparison_is_unsigned(self):
+        src = """
+        unsigned int u = 1; int s = -1; unsigned int r;
+        int main(void) { r = (s < (int)u) * 10 + ((unsigned int)s < u); return 0; }
+        """
+        # signed compare: -1 < 1 true; unsigned: 0xFFFFFFFF < 1 false
+        assert run_main(src, r=1)["r"] == 10
+
+    def test_cast_in_condition(self):
+        src = """
+        unsigned int r;
+        int main(void) {
+            unsigned char c = 0;
+            if (!(unsigned int)c) { r = 7; }
+            return 0;
+        }
+        """
+        assert run_main(src, r=1)["r"] == 7
+
+
+class TestCallingConvention:
+    def test_arguments_preserved_across_nested_calls(self):
+        src = """
+        unsigned int r;
+        int add3(int a, int b, int c) {
+            int i; int acc = 0;
+            for (i = 0; i < 40; i++) { acc = acc + a - b + c; acc = acc ^ (acc >> 6); }
+            return acc;
+        }
+        int outer(int a, int b, int c, int d) {
+            return add3(a, b, c) ^ add3(b, c, d) ^ add3(c, d, a);
+        }
+        int main(void) { r = (unsigned int)outer(1, 2, 3, 4); return 0; }
+        """
+        def add3(a, b, c):
+            acc = 0
+            for _ in range(40):
+                acc = (acc + a - b + c) & M32
+                signed = acc - (1 << 32) if acc >= 1 << 31 else acc
+                acc = (acc ^ (signed >> 6)) & M32
+            return acc
+        expected = (add3(1, 2, 3) ^ add3(2, 3, 4) ^ add3(3, 4, 1)) & M32
+        for env in ("plain", "wario"):
+            machine = compile_and_run(src, env=env)
+            assert machine.read_global("r") == expected, env
+
+    def test_return_value_through_conditionals(self):
+        src = """
+        unsigned int r;
+        int pick(int which, int a, int b) {
+            if (which) { return a; }
+            return b;
+        }
+        int main(void) { r = (unsigned int)(pick(1, 5, 6) * 10 + pick(0, 5, 6)); return 0; }
+        """
+        assert run_main(src, r=1)["r"] == 56
+
+
+class TestMemorySafetyOfEmulator:
+    def test_out_of_bounds_store_raises(self):
+        src = """
+        unsigned int a[4];
+        int main(void) {
+            unsigned int *p = a;
+            p[0x100000] = 1;      /* 4 MB past the 1 MB address space */
+            return 0;
+        }
+        """
+        program = iclang(src, "plain")
+        machine = Machine(program, war_check=False)
+        with pytest.raises(EmulationError, match="out of bounds"):
+            machine.run()
+
+    def test_globals_layout_disjoint(self):
+        src = """
+        unsigned int a[4]; unsigned int b[4]; unsigned int c;
+        int main(void) {
+            int i;
+            for (i = 0; i < 4; i++) { a[i] = 1; b[i] = 2; }
+            c = 3;
+            return 0;
+        }
+        """
+        machine = compile_and_run(src)
+        assert machine.read_global("a", 4) == [1] * 4
+        assert machine.read_global("b", 4) == [2] * 4
+        assert machine.read_global("c") == 3
+        addrs = machine.program.global_addr
+        spans = sorted(
+            (addrs[n], addrs[n] + (16 if n != "c" else 4)) for n in ("a", "b", "c")
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2  # no overlap

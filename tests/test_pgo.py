@@ -1,0 +1,83 @@
+"""Tests for the profile-guided Expander (§6 "Code Profiling",
+implemented)."""
+
+from repro import Machine, iclang
+from repro.core import collect_call_profile, iclang_pgo, profile_guided_expand
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.instructions import Call
+from repro.transforms import optimize_module
+
+HOT_HELPER = """
+unsigned int data[96]; unsigned int out;
+void scale(unsigned int *p, int i) {
+    p[i] = p[i] * 3 + 1;
+    p[i] = p[i] ^ (p[i] >> 3);
+    p[i] = p[i] + (p[i] & 0xFF);
+    p[i] = p[i] * 5;
+    p[i] = p[i] - (p[i] >> 7);
+    p[i] = p[i] | 1;
+    p[i] = p[i] + (p[i] % 13);
+    p[i] = p[i] ^ 0x1234;
+}
+int main(void) {
+    int r, i;
+    for (r = 0; r < 2; r++) {
+        for (i = 0; i < 96; i++) { scale(data, i); }
+    }
+    out = data[7];
+    return 0;
+}
+"""
+
+
+def test_profile_counts_calls():
+    profile = collect_call_profile(HOT_HELPER)
+    assert profile.get("scale") == 192
+
+
+def test_profile_guided_expand_inlines_hot_candidates():
+    module = compile_source(HOT_HELPER)
+    optimize_module(module)
+    calls_before = sum(
+        1 for i in module.main.instructions() if isinstance(i, Call)
+    )
+    assert calls_before >= 1
+    inlined = profile_guided_expand(module, {"scale": 192})
+    assert inlined >= 1
+    verify_module(module)
+
+
+def test_cold_functions_left_alone():
+    module = compile_source(HOT_HELPER)
+    optimize_module(module)
+    inlined = profile_guided_expand(module, {"scale": 1}, min_calls=100)
+    assert inlined == 0
+
+
+def test_pgo_build_correct_and_cheaper():
+    base = Machine(iclang(HOT_HELPER, "wario"), war_check=True)
+    base_stats = base.run()
+    pgo = Machine(iclang_pgo(HOT_HELPER, "wario"), war_check=True)
+    pgo_stats = pgo.run()
+    assert pgo.read_global("out") == base.read_global("out")
+    assert pgo.war.clean
+    # the hot pointer helper is inlined: fewer forced call checkpoints
+    assert pgo_stats.checkpoints < base_stats.checkpoints
+    assert pgo_stats.cycles < base_stats.cycles
+
+
+def test_pgo_on_call_free_program_is_noop_safe():
+    src = """
+    unsigned int out;
+    int main(void) {
+        int i; unsigned int s = 0;
+        for (i = 0; i < 50; i++) { s += (unsigned int)i; }
+        out = s;
+        return 0;
+    }
+    """
+    machine = Machine(iclang_pgo(src, "wario"), war_check=True)
+    machine.run()
+    assert machine.read_global("out") == sum(range(50))
+    assert machine.war.clean

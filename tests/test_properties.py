@@ -1,0 +1,311 @@
+"""Property-based tests (hypothesis): randomly generated programs are
+compiled under multiple environments and must (a) agree with a Python
+model, (b) agree with each other, and (c) be WAR-free when instrumented."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, iclang
+from repro.core import greedy_hitting_set
+
+M32 = 0xFFFFFFFF
+
+# ---------------------------------------------------------------------------
+# random straight-line expression programs
+# ---------------------------------------------------------------------------
+
+_BINOPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def straightline_program(draw):
+    """A random sequence of unsigned scalar assignments over 4 globals."""
+    names = ["g0", "g1", "g2", "g3"]
+    lines = []
+    model_lines = []
+    for _ in range(draw(st.integers(2, 10))):
+        target = draw(st.sampled_from(names))
+        a = draw(st.sampled_from(names + [str(draw(st.integers(0, 1000)))]))
+        b = draw(st.sampled_from(names + [str(draw(st.integers(1, 255)))]))
+        op = draw(st.sampled_from(_BINOPS))
+        lines.append(f"{target} = {a} {op} {b};")
+        model_lines.append((target, a, op, b))
+    decls = "".join(f"unsigned int {n};" for n in names)
+    init = "".join(f"{n} = {i * 17 + 1};" for i, n in enumerate(names))
+    src = f"""
+    {decls}
+    int main(void) {{
+        {init}
+        {" ".join(lines)}
+        return 0;
+    }}
+    """
+    return src, model_lines
+
+
+def _model_eval(model_lines):
+    env = {f"g{i}": i * 17 + 1 for i in range(4)}
+
+    def value(token):
+        return env[token] if token in env else int(token)
+
+    ops = {
+        "+": lambda a, b: (a + b) & M32,
+        "-": lambda a, b: (a - b) & M32,
+        "*": lambda a, b: (a * b) & M32,
+        "&": lambda a, b: a & b,
+        "|": lambda a, b: a | b,
+        "^": lambda a, b: a ^ b,
+    }
+    for target, a, op, b in model_lines:
+        env[target] = ops[op](value(a), value(b))
+    return env
+
+
+@settings(max_examples=40, deadline=None)
+@given(straightline_program())
+def test_straightline_matches_model(case):
+    src, model_lines = case
+    expected = _model_eval(model_lines)
+    machine = Machine(iclang(src, "plain"), war_check=False)
+    machine.run()
+    for name, want in expected.items():
+        assert machine.read_global(name) == want
+
+
+@settings(max_examples=15, deadline=None)
+@given(straightline_program(), st.sampled_from(["ratchet", "wario"]))
+def test_straightline_environment_equivalence(case, env):
+    src, model_lines = case
+    expected = _model_eval(model_lines)
+    machine = Machine(iclang(src, env), war_check=True)
+    machine.run()
+    assert machine.war.clean
+    for name, want in expected.items():
+        assert machine.read_global(name) == want
+
+
+# ---------------------------------------------------------------------------
+# random in-place array loops (the Loop Write Clusterer's habitat)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def array_loop_program(draw):
+    n = draw(st.integers(3, 40))
+    mul = draw(st.integers(1, 7))
+    add = draw(st.integers(0, 100))
+    shift = draw(st.integers(0, 3))
+    factor = draw(st.sampled_from([2, 3, 4, 8]))
+    src = f"""
+    unsigned int a[64];
+    unsigned int total;
+    int main(void) {{
+        int i;
+        unsigned int t = 0;
+        for (i = 0; i < {n}; i++) {{
+            a[i] = a[i] * {mul} + {add} + (unsigned int)(i >> {shift});
+            t = t + a[i];
+        }}
+        total = t;
+        return 0;
+    }}
+    """
+    expected = []
+    t = 0
+    for i in range(n):
+        v = (0 * mul + add + (i >> shift)) & M32
+        expected.append(v)
+        t = (t + v) & M32
+    expected += [0] * (64 - n)
+    return src, expected, t, factor
+
+
+@settings(max_examples=20, deadline=None)
+@given(array_loop_program())
+def test_clustered_loops_preserve_semantics(case):
+    src, expected, total, factor = case
+    machine = Machine(iclang(src, "wario", unroll_factor=factor), war_check=True)
+    machine.run()
+    assert machine.war.clean
+    assert machine.read_global("a", 64) == expected
+    assert machine.read_global("total") == total
+
+
+@settings(max_examples=10, deadline=None)
+@given(array_loop_program())
+def test_clustered_loops_never_increase_checkpoints(case):
+    src, _expected, _total, factor = case
+    base = Machine(iclang(src, "r-pdg"))
+    base.run()
+    clustered = Machine(iclang(src, "wario", unroll_factor=factor))
+    clustered.run()
+    assert clustered.stats.checkpoints <= base.stats.checkpoints
+
+
+# ---------------------------------------------------------------------------
+# stencil loops with loop-carried dependences (dependent-read forwarding)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def stencil_program(draw):
+    n = draw(st.integers(5, 48))
+    lag = draw(st.integers(1, 4))
+    add = draw(st.integers(1, 50))
+    src = f"""
+    unsigned int c[64];
+    int main(void) {{
+        int i;
+        c[0] = 1;
+        for (i = {lag}; i < {n}; i++) {{
+            c[i] = c[i - {lag}] + {add};
+        }}
+        return 0;
+    }}
+    """
+    expected = [0] * 64
+    expected[0] = 1
+    for i in range(lag, n):
+        expected[i] = (expected[i - lag] + add) & M32
+    return src, expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(stencil_program(), st.sampled_from([2, 4, 8]))
+def test_stencil_forwarding_correct(case, factor):
+    src, expected = case
+    machine = Machine(iclang(src, "wario", unroll_factor=factor), war_check=True)
+    machine.run()
+    assert machine.war.clean
+    assert machine.read_global("c", 64) == expected
+
+
+# ---------------------------------------------------------------------------
+# hitting set invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def requirement_sets(draw):
+    universe = [("b", i) for i in range(12)]
+    count = draw(st.integers(1, 8))
+    reqs = []
+    for _ in range(count):
+        size = draw(st.integers(1, 5))
+        reqs.append(draw(st.lists(st.sampled_from(universe), min_size=size, max_size=size)))
+    return reqs
+
+
+@settings(max_examples=100, deadline=None)
+@given(requirement_sets())
+def test_hitting_set_hits_everything(reqs):
+    chosen = set(greedy_hitting_set(reqs))
+    for req in reqs:
+        assert chosen & set(req)
+
+
+@settings(max_examples=100, deadline=None)
+@given(requirement_sets())
+def test_hitting_set_no_larger_than_requirements(reqs):
+    chosen = greedy_hitting_set(reqs)
+    assert len(chosen) <= len(reqs)
+    assert len(set(chosen)) == len(chosen)  # no duplicates
+
+
+# ---------------------------------------------------------------------------
+# random switch dispatch programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def switch_program(draw):
+    n_cases = draw(st.integers(2, 6))
+    values = draw(
+        st.lists(st.integers(0, 20), min_size=n_cases, max_size=n_cases, unique=True)
+    )
+    increments = [draw(st.integers(1, 100)) for _ in range(n_cases)]
+    has_default = draw(st.booleans())
+    default_inc = draw(st.integers(1, 100))
+    modulus = draw(st.integers(2, 23))
+    cases_src = "\n".join(
+        f"case {v}: acc = acc + {inc}; break;" for v, inc in zip(values, increments)
+    )
+    default_src = f"default: acc = acc + {default_inc}; break;" if has_default else ""
+    src = f"""
+    unsigned int acc_out;
+    int main(void) {{
+        int i; unsigned int acc = 0;
+        for (i = 0; i < 60; i++) {{
+            switch (i % {modulus}) {{
+                {cases_src}
+                {default_src}
+            }}
+        }}
+        acc_out = acc;
+        return 0;
+    }}
+    """
+    expected = 0
+    table = dict(zip(values, increments))
+    for i in range(60):
+        key = i % modulus
+        if key in table:
+            expected += table[key]
+        elif has_default:
+            expected += default_inc
+    return src, expected & M32
+
+
+@settings(max_examples=25, deadline=None)
+@given(switch_program(), st.sampled_from(["plain", "wario"]))
+def test_switch_programs_match_model(case, env):
+    src, expected = case
+    machine = Machine(iclang(src, env), war_check=(env != "plain"))
+    machine.run()
+    assert machine.read_global("acc_out") == expected
+    if env != "plain":
+        assert machine.war.clean
+
+
+# ---------------------------------------------------------------------------
+# random call graphs (non-recursive) over scalar state
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def call_program(draw):
+    n_funcs = draw(st.integers(1, 4))
+    muls = [draw(st.integers(1, 9)) for _ in range(n_funcs)]
+    adds = [draw(st.integers(0, 99)) for _ in range(n_funcs)]
+    calls = draw(st.integers(2, 10))
+    funcs = "\n".join(
+        f"unsigned int f{i}(unsigned int x) {{ return x * {muls[i]} + {adds[i]}; }}"
+        for i in range(n_funcs)
+    )
+    sequence = [draw(st.integers(0, n_funcs - 1)) for _ in range(calls)]
+    body = "\n".join(f"v = f{idx}(v);" for idx in sequence)
+    src = f"""
+    unsigned int out;
+    {funcs}
+    int main(void) {{
+        unsigned int v = 1;
+        {body}
+        out = v;
+        return 0;
+    }}
+    """
+    v = 1
+    for idx in sequence:
+        v = (v * muls[idx] + adds[idx]) & M32
+    return src, v
+
+
+@settings(max_examples=25, deadline=None)
+@given(call_program(), st.sampled_from(["plain", "ratchet", "wario"]))
+def test_call_programs_match_model(case, env):
+    src, expected = case
+    machine = Machine(iclang(src, env), war_check=(env != "plain"))
+    machine.run()
+    assert machine.read_global("out") == expected
+    if env != "plain":
+        assert machine.war.clean

@@ -1,0 +1,165 @@
+"""Tests for the volatile-data caching extension (§7): block-local
+store-to-load forwarding and dead-store elimination."""
+
+from dataclasses import replace
+
+from repro import Machine, iclang
+from repro.core import environment, insert_checkpoints
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.instructions import Load, Store
+from repro.transforms import cache_volatile_data, optimize_module
+
+
+def _counts(function):
+    loads = sum(1 for i in function.instructions() if isinstance(i, Load))
+    stores = sum(1 for i in function.instructions() if isinstance(i, Store))
+    return loads, stores
+
+
+# hand-unrolled scratch-buffer code: written then immediately re-read in
+# the same straight-line region (classic fixed-point DSP style)
+SCRATCH = """
+unsigned int scratch[4];
+unsigned int out;
+int main(void) {
+    unsigned int x = 17;
+    scratch[0] = x * 3;
+    scratch[1] = x * 5;
+    scratch[2] = scratch[0] + scratch[1];
+    scratch[3] = scratch[2] ^ x;
+    out = scratch[2] + scratch[3];
+    return 0;
+}
+"""
+SCRATCH_EXPECTED = (17 * 3 + 17 * 5) + ((17 * 3 + 17 * 5) ^ 17)
+
+
+class TestForwarding:
+    def test_loads_forwarded(self):
+        m = compile_source(SCRATCH)
+        optimize_module(m)
+        loads_before, _ = _counts(m.main)
+        changed = cache_volatile_data(m)
+        loads_after, _ = _counts(m.main)
+        assert changed > 0
+        assert loads_after < loads_before
+        verify_module(m)
+
+    def test_semantics_preserved(self):
+        cfg = replace(environment("wario"), name="wario-vc", volatile_cache=True)
+        machine = Machine(iclang(SCRATCH, cfg), war_check=True)
+        machine.run()
+        assert machine.read_global("out") == SCRATCH_EXPECTED
+        assert machine.war.clean
+
+    def test_forwarding_removes_war_material(self):
+        # the scratch loads anchored WARs (read scratch[2] then... no:
+        # forwarding removes loads entirely, so the checkpoint inserter
+        # sees fewer violations)
+        m1 = compile_source(SCRATCH)
+        optimize_module(m1)
+        base = insert_checkpoints(m1)
+        m2 = compile_source(SCRATCH)
+        optimize_module(m2)
+        cache_volatile_data(m2)
+        cached = insert_checkpoints(m2)
+        assert cached <= base
+
+    def test_aliasing_store_blocks_forwarding(self):
+        src = """
+        unsigned int a[8]; unsigned int out;
+        void mix(unsigned int *p, int i, int j) {
+            p[i] = 11;
+            p[j] = 22;       /* may alias p[i]: kills the forward */
+            out = p[i];
+        }
+        int main(void) { mix(a, 3, 3); return 0; }
+        """
+        m = compile_source(src)
+        # no optimize: keep mix out-of-line and unsimplified
+        cache_volatile_data(m)
+        verify_module(m)
+        machine = Machine(iclang(src, "plain"), war_check=False)
+        machine.run()
+        assert machine.read_global("out") == 22
+
+    def test_checkpoint_is_a_region_boundary(self):
+        from repro.ir.instructions import Checkpoint, CKPT_MIDDLE_END
+
+        m = compile_source(SCRATCH)
+        optimize_module(m)
+        # place a checkpoint between every instruction: nothing forwards
+        for block in m.main.blocks:
+            for idx in range(len(block.instructions) - 1, 0, -1):
+                block.insert(idx, Checkpoint(CKPT_MIDDLE_END))
+        assert cache_volatile_data(m) == 0
+
+    def test_narrow_store_not_forwarded_to_wide_load(self):
+        src = """
+        unsigned char b[4]; unsigned int out;
+        int main(void) {
+            b[0] = 0xAA;
+            out = b[0] + b[1];
+            return 0;
+        }
+        """
+        m = compile_source(src)
+        optimize_module(m)
+        cache_volatile_data(m)
+        verify_module(m)
+        machine = Machine(iclang(src, "plain"), war_check=False)
+        machine.run()
+        assert machine.read_global("out") == 0xAA
+
+
+class TestDeadStores:
+    def test_overwritten_store_removed(self):
+        src = """
+        unsigned int g; unsigned int out;
+        int main(void) {
+            g = 1;
+            g = 2;
+            out = g;
+            return 0;
+        }
+        """
+        m = compile_source(src)
+        optimize_module(m)
+        _, stores_before = _counts(m.main)
+        cache_volatile_data(m)
+        _, stores_after = _counts(m.main)
+        assert stores_after < stores_before
+        machine = Machine(iclang(src, "plain"))
+        machine.run()
+        assert machine.read_global("g") == 2
+
+    def test_read_between_keeps_store(self):
+        src = """
+        unsigned int g; unsigned int out;
+        int main(void) {
+            g = 1;
+            out = g;
+            g = 2;
+            return 0;
+        }
+        """
+        m = compile_source(src)
+        optimize_module(m)
+        cache_volatile_data(m)
+        machine = Machine(iclang(src, "plain"))
+        machine.run()
+        assert machine.read_global("out") == 1
+        assert machine.read_global("g") == 2
+
+    def test_benchmarks_unaffected_by_vc(self):
+        # the suite's hot loops keep data live across regions, so the
+        # extension must be a safe no-op there
+        from repro.benchsuite import BENCHMARKS, verify_outputs
+
+        cfg = replace(environment("wario"), name="wario-vc2", volatile_cache=True)
+        bench = BENCHMARKS["crc"]
+        machine = Machine(iclang(bench.source, cfg, name="crc-vc"), war_check=True)
+        machine.run(max_instructions=bench.max_instructions)
+        verify_outputs(bench, machine)
+        assert machine.war.clean
