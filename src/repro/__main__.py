@@ -5,11 +5,15 @@ Usage::
     python -m repro compile program.c --env wario -o listing.txt
     python -m repro run program.c --env wario --power 50000 --verify-war
     python -m repro run program.c --env ratchet --print-globals acc,total
+    python -m repro lint program.c --env wario
+    python -m repro lint --benchmark all --env wario-expander --format json
     python -m repro envs
 
 ``compile`` prints (or writes) a disassembly listing plus size/static
 statistics; ``run`` executes on the emulator and reports execution
-statistics; ``envs`` lists the available software environments.
+statistics; ``lint`` statically certifies WAR-freedom (exit 0 clean,
+1 diagnostics of severity error, 2 compile failure); ``envs`` lists the
+available software environments.
 """
 
 from __future__ import annotations
@@ -19,6 +23,14 @@ import sys
 
 from .backend.disasm import disassemble
 from .core import ENVIRONMENTS, iclang
+from .core.lint import (
+    EXIT_CLEAN,
+    EXIT_COMPILE_FAILED,
+    EXIT_ERRORS,
+    lint_benchmarks,
+    lint_sources,
+)
+from .diagnostics import render_json
 from .emulator import (
     ContinuousPower,
     EmulationError,
@@ -59,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated globals to print after the run "
                             "(append :COUNT for arrays, e.g. acc:16)")
     run_p.add_argument("--max-instructions", type=int, default=50_000_000)
+
+    lint_p = sub.add_parser(
+        "lint", help="statically certify WAR-freedom (IR + machine IR)"
+    )
+    lint_p.add_argument("sources", nargs="*", help="mini-C source files")
+    lint_p.add_argument("--benchmark", default=None, metavar="NAME",
+                        help="lint a benchsuite program instead of files "
+                             "('all' for the whole suite)")
+    lint_p.add_argument("--env", default="wario")
+    lint_p.add_argument("--format", choices=("text", "json"), default="text")
 
     sub.add_parser("envs", help="list the software environments")
     return parser
@@ -134,6 +156,36 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    if bool(args.sources) == bool(args.benchmark):
+        print("lint: pass either source files or --benchmark NAME",
+              file=sys.stderr)
+        return EXIT_COMPILE_FAILED
+    try:
+        if args.benchmark:
+            results = lint_benchmarks(args.benchmark, args.env)
+        else:
+            results = [lint_sources(_read_sources(args.sources), args.env,
+                                    name=args.sources[0])]
+    except Exception as exc:  # front/middle end rejected the program
+        print(f"lint: compilation failed: {exc}", file=sys.stderr)
+        return EXIT_COMPILE_FAILED
+    if args.format == "json":
+        diagnostics = [d for r in results for d in r.engine.diagnostics]
+        print(render_json(diagnostics))
+    else:
+        for result in results:
+            verdict = (
+                "certified WAR-free" if result.certified
+                else result.engine.summary()
+            )
+            print(f"{result.name} [{result.env}]: {verdict}")
+            if not result.engine.clean:
+                print(result.engine.render_text())
+    clean = all(r.certified for r in results)
+    return EXIT_CLEAN if clean else EXIT_ERRORS
+
+
 def _cmd_envs(_args) -> int:
     for name, config in ENVIRONMENTS.items():
         bits = []
@@ -159,6 +211,8 @@ def main(argv=None) -> int:
         return _cmd_compile(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_envs(args)
 
 

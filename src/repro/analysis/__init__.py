@@ -19,6 +19,11 @@ from .memdep import (
     block_memory_accesses,
     find_wars,
 )
+from .static_war import (
+    StaticWARError,
+    verify_function_war,
+    verify_module_war,
+)
 
 __all__ = [
     "AliasAnalysis", "PointerInfo", "PRECISE", "CONSERVATIVE", "AFFINE",
@@ -29,4 +34,5 @@ __all__ = [
     "Loop", "LoopInfo", "loop_info", "find_induction_variables",
     "WARViolation", "find_wars", "access_size", "block_memory_accesses",
     "FORWARD", "BACKWARD",
+    "StaticWARError", "verify_function_war", "verify_module_war",
 ]

@@ -1,0 +1,441 @@
+"""Static WAR-freedom verification on the middle-end IR.
+
+The emulator's :class:`~repro.emulator.warcheck.WARChecker` proves
+WAR-freedom *dynamically*: byte-granular, but only for the paths one run
+happens to execute.  This module proves the same invariant *statically*,
+for every path and every input, following Surbatovich et al.'s
+observation that intermittent-execution correctness is a static property
+of checkpoint-delimited regions.
+
+The verifier is a forward may-dataflow over each function's CFG.  The
+abstract state at a program point is the set of *exposed loads*: loads
+whose location may have been read since the last barrier (checkpoint, or
+call when entry/exit checkpoints are in force) on **some** path to this
+point.  Facts carry two path flags:
+
+``FORWARD``
+    the load reaches this point without crossing a loop back edge — the
+    load and the current instruction execute in the same iteration;
+
+``BACKWARD``
+    the fact flowed around at least one back edge — the current
+    instruction executes in a *later* iteration than the load.
+
+A store is a WAR violation when it may alias an exposed load under the
+matching alias query: plain ``may_alias`` for same-iteration facts,
+``may_alias_cross_iteration`` (over the pair's innermost common loop)
+for facts that wrapped a back edge.  A checkpoint kills all facts — on
+that path the idempotent region containing the load has ended before the
+store.  This is exactly the invariant the dynamic checker tests, lifted
+to abstract locations: *static clean implies dynamically clean on every
+input* (the converse does not hold — the analysis over-approximates
+aliasing exactly as the PDG checkpoint inserter does).
+
+Interprocedural behaviour follows the instrumentation model:
+
+* ``calls_are_checkpoints=True`` (every instrumented environment) —
+  calls are barriers, because callees checkpoint at entry and before
+  every epilogue stack release (paper §3.1.2/§3.1.3).
+* ``calls_are_checkpoints=False`` (the ``plain`` build) — a call may
+  both read and write arbitrary memory inside the caller's open region,
+  so a call with exposed loads is itself reported, and the call becomes
+  an exposed load of *everything* (the whole-program points-to summary
+  bounds nothing once the region spans unknown callees).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..diagnostics import (
+    LEVEL_IR,
+    Diagnostic,
+    DiagnosticEngine,
+    ERROR,
+    WARNING,
+)
+from ..ir.instructions import Call, Checkpoint, Load, Store
+from .alias import AliasAnalysis, PRECISE
+from .cfg import reverse_postorder
+from .loops import LoopInfo, loop_info
+from .memdep import BACKWARD, FORWARD, access_size
+
+#: Path flags on an exposed-load fact.
+FW = 1   # reaches without crossing a back edge (same iteration)
+BK = 2   # crossed >= 1 loop back edge (later iteration)
+
+
+class StaticWARError(Exception):
+    """Raised by ``verify_static`` pipelines when a module fails static
+    WAR verification.  Carries the collecting engine."""
+
+    def __init__(self, engine: DiagnosticEngine):
+        self.engine = engine
+        super().__init__(
+            f"static WAR verification failed: {engine.summary()}\n"
+            + engine.render_text()
+        )
+
+
+# ---------------------------------------------------------------------------
+# CFG helpers
+# ---------------------------------------------------------------------------
+
+
+def retreating_edges(function) -> set:
+    """Edges ``(id(pred), id(succ))`` that go backwards in reverse
+    postorder.  For the reducible CFGs the mini-C front end produces this
+    is exactly the set of loop back edges; for an irreducible graph it is
+    a superset, which only makes the analysis more conservative (extra
+    ``BK`` flags can only add reports, never hide one)."""
+    rpo = reverse_postorder(function)
+    index = {id(b): i for i, b in enumerate(rpo)}
+    edges = set()
+    for block in function.blocks:
+        for succ in block.successors:
+            if index.get(id(succ), 0) <= index.get(id(block), 0):
+                edges.add((id(block), id(succ)))
+    return edges
+
+
+def region_labels(function, calls_are_checkpoints: bool) -> Dict[int, str]:
+    """A human-readable idempotent-region identifier for every block
+    entry: the position of the nearest *dominating* barrier, or
+    ``"entry"``.  Purely informational — the dataflow itself is
+    path-sensitive and does not consume these labels."""
+    from .dominators import dominator_tree
+
+    domtree = dominator_tree(function)
+    labels: Dict[int, str] = {}
+
+    def label_at_entry(block) -> str:
+        if id(block) in labels:
+            return labels[id(block)]
+        parent = domtree.idom(block)
+        if parent is None:
+            label = "entry"
+        else:
+            label = label_at_exit(parent)
+        labels[id(block)] = label
+        return label
+
+    def label_at_exit(block) -> str:
+        label = label_at_entry(block)
+        for idx, instr in enumerate(block.instructions):
+            if _is_barrier(instr, calls_are_checkpoints):
+                label = f"{block.name}@{idx}"
+        return label
+
+    for block in function.blocks:
+        label_at_entry(block)
+    return labels
+
+
+def _is_barrier(instr, calls_are_checkpoints: bool) -> bool:
+    if isinstance(instr, Checkpoint):
+        return True
+    return calls_are_checkpoints and isinstance(instr, Call)
+
+
+# ---------------------------------------------------------------------------
+# the region dataflow
+# ---------------------------------------------------------------------------
+
+#: A dataflow state: id(instr) -> (instr, flags).  ``instr`` is a Load,
+#: or a Call standing in for "the callee may have read anything".
+State = Dict[int, Tuple[object, int]]
+
+
+def _merge(into: State, new: State) -> bool:
+    changed = False
+    for key, (instr, flags) in new.items():
+        old = into.get(key)
+        if old is None:
+            into[key] = (instr, flags)
+            changed = True
+        elif old[1] | flags != old[1]:
+            into[key] = (instr, old[1] | flags)
+            changed = True
+    return changed
+
+
+class _FunctionWARAnalysis:
+    """One function's exposed-load dataflow plus the reporting pass."""
+
+    def __init__(
+        self,
+        function,
+        aa: AliasAnalysis,
+        li: LoopInfo,
+        calls_are_checkpoints: bool,
+    ):
+        self.function = function
+        self.aa = aa
+        self.li = li
+        self.calls_are_checkpoints = calls_are_checkpoints
+        self.back_edges = retreating_edges(function)
+        self.in_states: Dict[int, State] = {id(b): {} for b in function.blocks}
+
+    # -- transfer --------------------------------------------------------
+    def _transfer_block(self, block, state: State, report=None) -> State:
+        state = dict(state)
+        for idx, instr in enumerate(block.instructions):
+            if _is_barrier(instr, self.calls_are_checkpoints):
+                if (
+                    report is not None
+                    and isinstance(instr, Call)
+                    and not self.calls_are_checkpoints
+                ):
+                    pass  # unreachable: non-checkpoint calls don't barrier
+                state.clear()
+                if isinstance(instr, Call):
+                    # The callee's entry checkpoint ends the region, but the
+                    # call's own reads/writes then start a fresh one; model
+                    # the call result as nothing exposed (the callee's final
+                    # exit checkpoint precedes any post-return accesses).
+                    pass
+                continue
+            if isinstance(instr, Call):
+                # Region spans the call (plain build): report it against the
+                # open exposed loads, then treat the callee as having read
+                # arbitrary memory inside the still-open region.
+                if report is not None and state:
+                    report.call_in_region(instr, block, idx, state)
+                state[id(instr)] = (instr, state.get(id(instr), (instr, 0))[1] | FW)
+                continue
+            if isinstance(instr, Load):
+                old = state.get(id(instr))
+                state[id(instr)] = (instr, (old[1] if old else 0) | FW)
+                continue
+            if isinstance(instr, Store):
+                if report is not None:
+                    for fact_instr, flags in list(state.values()):
+                        kind = self._war_kind(fact_instr, flags, instr)
+                        if kind is not None:
+                            report.war(fact_instr, flags, instr, kind)
+        return state
+
+    def _war_kind(self, fact_instr, flags: int, store: Store) -> Optional[str]:
+        """Does ``store`` form a WAR with the exposed ``fact_instr``?"""
+        if isinstance(fact_instr, Call):
+            return "call"
+        load = fact_instr
+        lsize = access_size(load)
+        ssize = access_size(store)
+        if flags & FW and self.aa.may_alias(
+            load.pointer, lsize, store.pointer, ssize
+        ):
+            return FORWARD
+        if flags & BK:
+            common = self.li.common_loop(load.parent, store.parent)
+            if common is not None:
+                if self.aa.may_alias_cross_iteration(
+                    load.pointer, lsize, store.pointer, ssize, common
+                ):
+                    return BACKWARD
+            elif self.aa.may_alias(load.pointer, lsize, store.pointer, ssize):
+                # The fact wrapped a back edge of a loop that does not
+                # contain both endpoints: the load's address was fixed when
+                # it executed, so the same-iteration query is the right one.
+                return BACKWARD
+        return None
+
+    # -- fixpoint --------------------------------------------------------
+    def run(self) -> None:
+        rpo = reverse_postorder(self.function)
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                out = self._transfer_block(block, self.in_states[id(block)])
+                for succ in block.successors:
+                    if (id(block), id(succ)) in self.back_edges:
+                        flowed = {
+                            key: (instr, flags | BK)
+                            for key, (instr, flags) in out.items()
+                        }
+                    else:
+                        flowed = out
+                    if _merge(self.in_states[id(succ)], flowed):
+                        changed = True
+
+    def report(self, reporter) -> None:
+        for block in self.function.blocks:
+            self._transfer_block(block, self.in_states[id(block)], report=reporter)
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def describe_access(instr, aa: Optional[AliasAnalysis] = None) -> str:
+    """A short human-readable description of a load/store's location."""
+    pointer = instr.pointer
+    if aa is not None:
+        info = aa.classify(pointer)
+        if info.base is not None and getattr(info.base, "name", ""):
+            prefix = "@" if type(info.base).__name__ == "GlobalVariable" else "%"
+            desc = f"{prefix}{info.base.name}"
+            if info.exact and info.iv is None and info.const_offset:
+                desc += f"+{info.const_offset}"
+            elif not info.exact or info.iv is not None:
+                desc += "[...]"
+            return desc
+    name = getattr(pointer, "name", "")
+    return f"%{name}" if name else "<unknown>"
+
+
+class _Reporter:
+    """Deduplicates findings across the reporting pass and turns them
+    into diagnostics."""
+
+    def __init__(self, engine, function, aa, labels, seen):
+        self.engine = engine
+        self.function = function
+        self.aa = aa
+        self.labels = labels
+        self.seen = seen
+
+    def _region_of(self, load) -> str:
+        block = getattr(load, "parent", None)
+        if block is None:
+            return ""
+        return self.labels.get(id(block), "entry")
+
+    def war(self, load, flags: int, store, kind: str) -> None:
+        key = (id(load), id(store))
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        if kind == "call":
+            call = load
+            self.engine.emit(Diagnostic(
+                severity=ERROR,
+                code="war-after-call",
+                message=(
+                    f"store to {describe_access(store, self.aa)} follows a "
+                    f"call to '{call.callee.name}' in the same idempotent "
+                    f"region; the callee may already have read this "
+                    f"location"
+                ),
+                function=self.function.name,
+                region=self._region_of(call),
+                level=LEVEL_IR,
+                loc=getattr(store, "loc", None),
+                related=[(
+                    "region-spanning call is here",
+                    getattr(call, "loc", None),
+                )],
+            ))
+            return
+        where = {
+            FORWARD: "later in the same idempotent region",
+            BACKWARD: "in a later iteration of the same idempotent region",
+        }[kind]
+        store_desc = describe_access(store, self.aa)
+        load_desc = describe_access(load, self.aa)
+        diag = Diagnostic(
+            severity=ERROR,
+            code=f"war-{kind}",
+            message=(
+                f"store to {store_desc} may overwrite a location "
+                f"first read {where}; re-execution after a power failure "
+                f"would observe the new value"
+            ),
+            function=self.function.name,
+            region=self._region_of(load),
+            level=LEVEL_IR,
+            loc=getattr(store, "loc", None),
+            related=[(
+                f"location first read here by load {load_desc}",
+                getattr(load, "loc", None),
+            )],
+        )
+        self.engine.emit(diag)
+
+    def call_in_region(self, call, block, idx, state) -> None:
+        key = ("call", id(call))
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        sample = next(iter(state.values()))[0]
+        self.engine.emit(Diagnostic(
+            severity=ERROR,
+            code="war-call",
+            message=(
+                f"call to '{call.callee.name}' inside an idempotent region "
+                f"with exposed reads: the callee may overwrite a location "
+                f"already read in this region (no entry checkpoint breaks "
+                f"the region in this configuration)"
+            ),
+            function=self.function.name,
+            region=self._region_of(sample),
+            level=LEVEL_IR,
+            loc=getattr(call, "loc", None),
+            related=[(
+                "a location is first read here",
+                getattr(sample, "loc", None),
+            )] if isinstance(sample, Load) else [],
+        ))
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def verify_function_war(
+    function,
+    alias_mode: str = PRECISE,
+    points_to=None,
+    calls_are_checkpoints: bool = True,
+    engine: Optional[DiagnosticEngine] = None,
+) -> DiagnosticEngine:
+    """Statically verify one function's WAR-freedom; returns the engine."""
+    if engine is None:
+        engine = DiagnosticEngine()
+    aa = AliasAnalysis(function, alias_mode, points_to=points_to)
+    li = loop_info(function)
+    analysis = _FunctionWARAnalysis(function, aa, li, calls_are_checkpoints)
+    analysis.run()
+    labels = region_labels(function, calls_are_checkpoints)
+    reporter = _Reporter(engine, function, aa, labels, set())
+    analysis.report(reporter)
+    return engine
+
+
+def verify_module_war(
+    module,
+    alias_mode: str = PRECISE,
+    calls_are_checkpoints: bool = True,
+    engine: Optional[DiagnosticEngine] = None,
+) -> DiagnosticEngine:
+    """Statically verify every defined function of ``module``.
+
+    The verifier must see the *final* middle-end IR — i.e. run it after
+    checkpoint insertion (or on an uninstrumented module to demonstrate
+    why ``plain`` is unsafe under intermittent power).
+    """
+    from .pointsto import compute_points_to
+
+    if engine is None:
+        engine = DiagnosticEngine()
+    points_to = compute_points_to(module)
+    for function in module.defined_functions():
+        verify_function_war(
+            function,
+            alias_mode=alias_mode,
+            points_to=points_to,
+            calls_are_checkpoints=calls_are_checkpoints,
+            engine=engine,
+        )
+    return engine
+
+
+__all__ = [
+    "FW", "BK",
+    "StaticWARError",
+    "describe_access", "retreating_edges", "region_labels",
+    "verify_function_war", "verify_module_war",
+]

@@ -16,7 +16,17 @@ from ..transforms.simplifycfg import simplify_cfg
 from .encoder import GLOBALS_BASE, HALT_ADDRESS, MEMORY_SIZE, STACK_TOP, Program, encode_module
 from .frame import EPILOGUE_STYLES, lower_frame
 from .isel import InstructionSelector
-from .mir import MFunction, MInstr, MModule, StackSlot, VReg, mfunction_to_str
+from .mir import (
+    MFunction,
+    MInstr,
+    MIRVerificationError,
+    MModule,
+    StackSlot,
+    VReg,
+    mfunction_to_str,
+    verify_mfunction,
+)
+from .mir_war import verify_mfunction_war, verify_mmodule_war
 from .peephole import eliminate_dead_defs
 from .regalloc import allocate_registers
 from .spill_checkpoints import find_spill_wars, insert_spill_checkpoints
@@ -27,13 +37,16 @@ def lower_module(
     spill_checkpoint_mode: Optional[str] = None,
     epilogue_style: str = "plain",
     entry_checkpoints: bool = False,
+    verify: bool = False,
 ) -> MModule:
     """Lower an IR module to machine code.
 
     ``spill_checkpoint_mode`` is ``None`` (no back-end WAR protection,
     for the plain build), ``"basic"`` (Ratchet) or ``"hitting-set"``
     (WARio).  ``entry_checkpoints`` adds the forced checkpoint at every
-    non-main function entry.
+    non-main function entry.  ``verify`` runs the structural machine-IR
+    verifier after selection (virtual-register defined-before-use) and
+    after frame lowering (all-physical, slot validity, block shape).
     """
     mmodule = MModule(ir_module.name)
     mmodule.globals = dict(ir_module.globals)
@@ -43,6 +56,8 @@ def lower_module(
         selector = InstructionSelector(function)
         mfn = selector.run()
         eliminate_dead_defs(mfn)
+        if verify:
+            verify_mfunction(mfn)
         spills, remats = allocate_registers(mfn)
         if spill_checkpoint_mode is not None:
             insert_spill_checkpoints(
@@ -56,6 +71,8 @@ def lower_module(
             entry_checkpoint=entry_checkpoints,
             is_entry_function=(function.name == "main"),
         )
+        if verify:
+            verify_mfunction(mfn, after_regalloc=True)
         mmodule.add_function(mfn)
     return mmodule
 
@@ -65,10 +82,12 @@ def compile_to_program(
     spill_checkpoint_mode: Optional[str] = None,
     epilogue_style: str = "plain",
     entry_checkpoints: bool = False,
+    verify: bool = False,
 ) -> Program:
     """Lower and encode an IR module into an executable image."""
     mmodule = lower_module(
-        ir_module, spill_checkpoint_mode, epilogue_style, entry_checkpoints
+        ir_module, spill_checkpoint_mode, epilogue_style, entry_checkpoints,
+        verify=verify,
     )
     return encode_module(mmodule)
 
@@ -77,6 +96,8 @@ __all__ = [
     "lower_module", "compile_to_program",
     "InstructionSelector", "allocate_registers", "lower_frame",
     "insert_spill_checkpoints", "find_spill_wars",
+    "verify_mfunction", "MIRVerificationError",
+    "verify_mfunction_war", "verify_mmodule_war",
     "encode_module", "Program",
     "MModule", "MFunction", "MInstr", "VReg", "StackSlot", "mfunction_to_str",
     "EPILOGUE_STYLES", "GLOBALS_BASE", "STACK_TOP", "MEMORY_SIZE", "HALT_ADDRESS",

@@ -61,9 +61,11 @@ class InstructionSelector:
         self.cur: Optional[MBlock] = None
         self.fused: set = set()                 # ids of fused icmps
         self._block_cache: Dict[object, VReg] = {}  # per-block adr/imm CSE
+        self.cur_loc = None                     # loc of the IR instr being lowered
 
     # -- emission helpers --------------------------------------------------
     def emit(self, opcode: str, dst=None, ops=None, **attrs) -> MInstr:
+        attrs.setdefault("loc", self.cur_loc)
         return self.cur.append(MInstr(opcode, dst, ops or [], **attrs))
 
     def vreg_for(self, value) -> VReg:
@@ -127,8 +129,13 @@ class InstructionSelector:
             self.cur = self.block_map[id(block)]
             self._block_cache = {}
             for instr in block.instructions:
+                self.cur_loc = instr.loc
                 self.lower(instr)
+            self.cur_loc = None
         self._eliminate_phis()
+        # Alloca -> slot mapping, kept for the machine-level WAR verifier
+        # to relate IR pointer bases to concrete frame slots.
+        self.mfn.alloca_slots = dict(self.slot_map)
         return self.mfn
 
     def _find_fusable(self) -> None:
@@ -165,13 +172,19 @@ class InstructionSelector:
         if isinstance(instr, Load):
             base, offset = self.address_of(instr.pointer)
             size = instr.type.size
-            self.emit(_mem_op(size, True), self.vreg_for(instr), [base, offset])
+            self.emit(
+                _mem_op(size, True), self.vreg_for(instr), [base, offset],
+                ir_mem=instr,
+            )
             return
         if isinstance(instr, Store):
             value = self.operand(instr.value)
             base, offset = self.address_of(instr.pointer)
             size = instr.pointer.type.pointee.size
-            self.emit(_mem_op(size, False), None, [value, base, offset])
+            self.emit(
+                _mem_op(size, False), None, [value, base, offset],
+                ir_mem=instr,
+            )
             return
         if isinstance(instr, BinaryOp):
             self.lower_binop(instr)

@@ -94,6 +94,14 @@ class MInstr:
         self.args: List[VReg] = attrs.pop("args", [])             # bl
         self.regs: List[str] = attrs.pop("regs", [])              # push/pop
         self.comment: str = attrs.pop("comment", "")
+        #: Originating source location (repro.diagnostics.SourceLoc) — set
+        #: by isel from the lowered IR instruction, inherited by expansion.
+        self.loc = attrs.pop("loc", None)
+        #: The IR Load/Store this memory instruction lowers, when any.
+        #: Lets MIR-level verifiers delegate IR-memory alias questions to
+        #: the middle-end analyses instead of re-deriving them from
+        #: register contents.
+        self.ir_mem = attrs.pop("ir_mem", None)
         if attrs:
             raise TypeError(f"unknown MInstr attrs: {sorted(attrs)}")
         self.parent: Optional["MBlock"] = None
@@ -190,6 +198,9 @@ class MFunction:
         self.saved_high: List[str] = []  # r8-r11 (push.w group)
         self.num_args = 0
         self.makes_calls = False
+        #: id(ir Alloca) -> StackSlot, populated by instruction selection;
+        #: consumed by the machine-level WAR verifier.
+        self.alloca_slots: Dict[int, StackSlot] = {}
 
     def add_block(self, name: str) -> MBlock:
         if name in self._by_name:
@@ -229,6 +240,168 @@ class MModule:
 
     def __repr__(self):
         return f"<MModule {self.name} ({len(self.functions)} functions)>"
+
+
+class MIRVerificationError(Exception):
+    """A machine function violated a structural invariant."""
+
+    def __init__(self, function: str, problems: List[str]):
+        self.function = function
+        self.problems = problems
+        super().__init__(
+            f"machine IR verification failed for '{function}':\n  "
+            + "\n  ".join(problems)
+        )
+
+
+#: Opcodes allowed in a block's trailing control group.  ``successors()``
+#: walks this suffix, so any branch outside it would silently change the
+#: CFG the backend analyses see.
+_CONTROL = ("b", "bcc", "bx_lr")
+
+
+def verify_mfunction(fn: MFunction, after_regalloc: bool = False) -> None:
+    """Structural machine-IR verifier.
+
+    Checks, at any point of the backend pipeline:
+
+    * every block is non-empty and ends with a terminator (``b``/``bx_lr``,
+      or the ``ret`` pseudo that frame lowering later expands),
+    * branches appear only in the trailing control group of a block and
+      target existing blocks,
+    * every :class:`StackSlot` operand is registered with the function and
+      stored at its own ``index``.
+
+    With ``after_regalloc=False`` additionally runs a defined-before-use
+    dataflow over virtual registers; with ``after_regalloc=True`` instead
+    requires every register operand to be physical (``bl`` argument lists
+    are exempt — the call expansion resolves them against the stack).
+
+    Raises :class:`MIRVerificationError` on the first offending function.
+    """
+    problems: List[str] = []
+
+    for block in fn.blocks:
+        if not block.instructions:
+            problems.append(f"block '{block.name}' is empty")
+            continue
+        last = block.instructions[-1]
+        if not (last.is_terminator or last.opcode in ("ret", "bcc")):
+            problems.append(
+                f"block '{block.name}' does not end with a terminator "
+                f"(ends with '{last.opcode}')"
+            )
+        in_control_tail = True
+        for instr in reversed(block.instructions):
+            if instr.opcode in _CONTROL:
+                if not in_control_tail:
+                    problems.append(
+                        f"block '{block.name}': branch '{instr.opcode}' is "
+                        f"not in the trailing control group"
+                    )
+            else:
+                in_control_tail = False
+        for instr in block.instructions:
+            for target in instr.branch_targets():
+                if target not in fn._by_name:
+                    problems.append(
+                        f"block '{block.name}': branch to unknown block "
+                        f"'{target}'"
+                    )
+            for op in instr.ops:
+                if isinstance(op, StackSlot):
+                    if not (
+                        0 <= op.index < len(fn.slots)
+                        and fn.slots[op.index] is op
+                    ):
+                        problems.append(
+                            f"block '{block.name}': '{instr.opcode}' uses "
+                            f"unregistered stack slot {op!r}"
+                        )
+
+    if after_regalloc:
+        for block in fn.blocks:
+            for instr in block.instructions:
+                for reg in instr.defs() + [
+                    op for op in instr.ops if isinstance(op, VReg)
+                ]:
+                    if not reg.is_phys:
+                        problems.append(
+                            f"block '{block.name}': virtual register "
+                            f"{reg!r} survives register allocation in "
+                            f"'{instr.opcode}'"
+                        )
+    else:
+        problems.extend(_check_defined_before_use(fn))
+
+    if problems:
+        raise MIRVerificationError(fn.name, problems)
+
+
+def _check_defined_before_use(fn: MFunction) -> List[str]:
+    """Forward must-dataflow: every (non-physical) vreg use is dominated
+    by a definition on every path from entry."""
+    if not fn.blocks:
+        return []
+    problems: List[str] = []
+    preds: Dict[str, List[MBlock]] = {b.name: [] for b in fn.blocks}
+    for block in fn.blocks:
+        try:
+            for succ in block.successors():
+                preds[succ.name].append(block)
+        except KeyError:
+            return problems  # broken targets already reported
+    # reachable-only: unreachable blocks have vacuous paths
+    reachable = set()
+    work = [fn.blocks[0]]
+    while work:
+        block = work.pop()
+        if block.name in reachable:
+            continue
+        reachable.add(block.name)
+        work.extend(block.successors())
+
+    defined_out: Dict[str, set] = {b.name: None for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            if block.name not in reachable:
+                continue
+            ins = [
+                defined_out[p.name]
+                for p in preds[block.name]
+                if defined_out[p.name] is not None
+            ]
+            state = set.intersection(*ins) if ins else set()
+            for instr in block.instructions:
+                for reg in instr.defs():
+                    if not reg.is_phys:
+                        state.add(reg.id)
+            if defined_out[block.name] != state:
+                defined_out[block.name] = state
+                changed = True
+
+    for block in fn.blocks:
+        if block.name not in reachable:
+            continue
+        ins = [
+            defined_out[p.name]
+            for p in preds[block.name]
+            if defined_out[p.name] is not None
+        ]
+        state = set.intersection(*ins) if ins else set()
+        for instr in block.instructions:
+            for reg in instr.uses():
+                if not reg.is_phys and reg.id not in state:
+                    problems.append(
+                        f"block '{block.name}': {reg!r} used by "
+                        f"'{instr.opcode}' before any definition reaches it"
+                    )
+            for reg in instr.defs():
+                if not reg.is_phys:
+                    state.add(reg.id)
+    return problems
 
 
 def mfunction_to_str(fn: MFunction) -> str:

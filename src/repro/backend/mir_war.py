@@ -1,0 +1,468 @@
+"""Static WAR-freedom verification on machine IR (the back-end level).
+
+The middle-end verifier (:mod:`repro.analysis.static_war`) cannot see the
+memory traffic the back end itself introduces: register spill reloads and
+stores, the callee-saved save area, pops, and the frame releases of the
+three epilogue styles.  The paper's point (§3.1.2/§3.1.3) is exactly
+that this traffic carries WAR hazards of its own — this module verifies,
+after frame lowering, that ``insert_spill_checkpoints`` and the epilogue
+construction actually discharged them.
+
+The analysis runs the same exposed-read dataflow as the IR level, but
+over *concrete* stack coordinates: the abstract state tracks the stack
+pointer as a byte delta from function entry (``delta``; push/``subsp``
+decrease it, pop/``addsp`` increase it), and every stack access resolves
+to an entry-relative byte range exactly as the emulator resolves it —
+a :class:`~repro.backend.mir.StackSlot` operand is ``delta +
+slot.offset``, an ``sp``-relative load is ``delta + offset``, a push
+writes ``[delta - 4n, delta)``, a pop reads ``[delta, delta + 4n)``.
+Because the locations are concrete, iteration flags are irrelevant to
+aliasing (a range equals itself in every iteration) and overlap is plain
+interval intersection.
+
+Accesses that lower IR loads/stores (they carry ``MInstr.ir_mem``) are
+classified through the middle-end alias analysis: pure-global pointers
+are skipped here, and ir-to-ir pairs are *delegated* to the IR-level
+verifier — re-deriving them from blurred slot ranges would only lose
+precision.  What remains machine-only:
+
+* **spill WARs** — a slot reload followed by a slot store in one region;
+* **the stack-release rule** — an upward sp adjustment while reads of
+  the released area are still exposed publishes those bytes to interrupt
+  stacking and future callees inside the open region.  Ratchet satisfies
+  it with a checkpoint before every release (the Pop Converter's loads +
+  checkpoint + adjust), WARio by masking interrupts: between ``cpsid``
+  and ``cpsie`` a release is provisionally allowed and must be followed
+  by a checkpoint (with no intervening store) before interrupts
+  re-enable — which is precisely the Epilog Optimizer's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.alias import PRECISE, AliasAnalysis
+from ..diagnostics import (
+    Diagnostic,
+    DiagnosticEngine,
+    ERROR,
+    LEVEL_MIR,
+)
+from ..ir.values import GlobalVariable
+from .mir import MFunction, MInstr, StackSlot
+
+FW = 1
+BK = 2
+
+_LOAD_SIZE = {"ldr": 4, "ldrh": 2, "ldrb": 1}
+_STORE_SIZE = {"str": 4, "strh": 2, "strb": 1}
+
+
+def _overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+class _Fact:
+    """One exposed read: the instruction, its entry-relative byte ranges,
+    path flags, and whether it originates from an IR-level load."""
+
+    __slots__ = ("instr", "ranges", "flags", "is_ir", "what")
+
+    def __init__(self, instr, ranges, flags, is_ir, what):
+        self.instr = instr
+        self.ranges = ranges
+        self.flags = flags
+        self.is_ir = is_ir
+        self.what = what
+
+    def overlaps(self, ranges) -> bool:
+        return any(_overlap(a, b) for a in self.ranges for b in ranges)
+
+
+class _State:
+    __slots__ = ("delta", "masked", "pending", "facts")
+
+    def __init__(self, delta=0, masked=False, pending=None, facts=None):
+        self.delta = delta
+        self.masked = masked
+        #: ranges released under cpsid awaiting their checkpoint, with the
+        #: facts that were exposed at release time
+        self.pending: List[Tuple[Tuple[int, int], _Fact]] = pending or []
+        self.facts: Dict[int, _Fact] = facts or {}
+
+    def copy(self, add_bk=False) -> "_State":
+        facts = {
+            key: _Fact(
+                f.instr, f.ranges, f.flags | (BK if add_bk else 0),
+                f.is_ir, f.what,
+            )
+            for key, f in self.facts.items()
+        }
+        return _State(self.delta, self.masked, list(self.pending), facts)
+
+
+def _merge(into: _State, new: _State, problems: List[str], where: str) -> bool:
+    if into.delta != new.delta:
+        problems.append(
+            f"inconsistent stack depth at '{where}': "
+            f"{into.delta} vs {new.delta} bytes from entry"
+        )
+        return False
+    changed = False
+    if new.masked and not into.masked:
+        into.masked = True
+        changed = True
+    for key, fact in new.facts.items():
+        old = into.facts.get(key)
+        if old is None:
+            into.facts[key] = fact
+            changed = True
+        elif old.flags | fact.flags != old.flags:
+            old.flags |= fact.flags
+            changed = True
+    return changed
+
+
+class _MIRWARAnalysis:
+    def __init__(
+        self,
+        mfn: MFunction,
+        aa: Optional[AliasAnalysis],
+        calls_are_checkpoints: bool,
+        engine: DiagnosticEngine,
+    ):
+        self.mfn = mfn
+        self.aa = aa
+        self.calls_are_checkpoints = calls_are_checkpoints
+        self.engine = engine
+        self.structural: List[str] = []
+        self.seen = set()
+        self.frame_delta = -self._prologue_bytes()
+        self.addr_taken = self._address_taken_ranges()
+        self.slot_for_alloca = mfn.alloca_slots
+
+    # -- geometry --------------------------------------------------------
+    def _prologue_bytes(self) -> int:
+        """Total downward sp motion of the prologue: the delta at which
+        every ``lea``/slot access in the body executes."""
+        total = 0
+        if not self.mfn.blocks:
+            return 0
+        for instr in self.mfn.blocks[0].instructions:
+            if instr.opcode == "push":
+                total += 4 * len(instr.regs)
+            elif instr.opcode == "subsp":
+                total += instr.ops[0]
+            elif instr.opcode == "checkpoint":
+                continue
+            else:
+                break
+        return total
+
+    def _slot_range(self, slot: StackSlot, delta: int) -> Tuple[int, int]:
+        # The machine resolves a slot operand against the *current* sp.
+        base = delta + slot.offset
+        return (base, base + slot.size)
+
+    def _address_taken_ranges(self) -> List[Tuple[int, int]]:
+        """Frame ranges of slots whose address escapes into a register
+        (``lea``): the only stack bytes an unknown IR pointer can reach."""
+        out = []
+        for instr in self.mfn.instructions():
+            if instr.opcode == "lea":
+                for op in instr.ops:
+                    if isinstance(op, StackSlot):
+                        out.append(self._slot_range(op, self.frame_delta))
+        return out
+
+    # -- access classification ------------------------------------------
+    def _ir_ranges(self, instr: MInstr) -> Optional[List[Tuple[int, int]]]:
+        """Stack byte ranges an IR-originated access may touch, or None
+        when it provably stays in global memory (IR-level territory)."""
+        if self.aa is None:
+            return self.addr_taken or None
+        bases = self.aa.classify(instr.ir_mem.pointer).possible_bases()
+        if bases is None:
+            return self.addr_taken or None
+        ranges: List[Tuple[int, int]] = []
+        for base in bases:
+            if isinstance(base, GlobalVariable):
+                continue
+            slot = self.slot_for_alloca.get(id(base))
+            if slot is not None:
+                ranges.append(self._slot_range(slot, self.frame_delta))
+            else:
+                # An alloca base with no slot (e.g. promoted away before
+                # isel) cannot be addressed; be conservative.
+                return self.addr_taken or None
+        return ranges or None
+
+    def _read_of(self, instr: MInstr, delta: int):
+        """(ranges, is_ir) read by ``instr``, or None."""
+        size = _LOAD_SIZE.get(instr.opcode)
+        if size is not None:
+            base = instr.ops[0]
+            if base == "sp":
+                start = delta + instr.ops[1]
+                return [(start, start + size)], False, "the epilogue restore"
+            if isinstance(base, StackSlot):
+                start = delta + base.offset + (
+                    instr.ops[1] if len(instr.ops) > 1 else 0
+                )
+                return [(start, start + size)], False, f"slot{base.index}"
+            if instr.ir_mem is not None:
+                ranges = self._ir_ranges(instr)
+                if ranges:
+                    return ranges, True, "an address-taken local"
+            return None
+        if instr.opcode == "pop":
+            n = 4 * len(instr.regs)
+            return [(delta, delta + n)], False, "the pop restore"
+        return None
+
+    def _write_of(self, instr: MInstr, delta: int):
+        size = _STORE_SIZE.get(instr.opcode)
+        if size is not None:
+            base = instr.ops[1]
+            if base == "sp":
+                start = delta + instr.ops[2]
+                return [(start, start + size)], False
+            if isinstance(base, StackSlot):
+                start = delta + base.offset + (
+                    instr.ops[2] if len(instr.ops) > 2 else 0
+                )
+                return [(start, start + size)], False
+            if instr.ir_mem is not None:
+                ranges = self._ir_ranges(instr)
+                if ranges:
+                    return ranges, True
+            return None
+        if instr.opcode == "push":
+            n = 4 * len(instr.regs)
+            return [(delta - n, delta)], False
+        return None
+
+    # -- transfer --------------------------------------------------------
+    def _transfer(self, block, state: _State, report: bool) -> _State:
+        for instr in block.instructions:
+            op = instr.opcode
+            if op == "checkpoint":
+                state.facts.clear()
+                state.pending = []
+                continue
+            if op == "bl":
+                if self.calls_are_checkpoints:
+                    state.facts.clear()
+                    state.pending = []
+                # A callee operates strictly below the caller's sp, so it
+                # cannot touch the concrete facts tracked here; accesses
+                # through escaped pointers are the IR verifier's job.
+                continue
+            if op == "cpsid":
+                state.masked = True
+                continue
+            if op == "cpsie":
+                if report:
+                    for released, fact in state.pending:
+                        self._report_release(instr, released, fact)
+                state.pending = []
+                state.masked = False
+                continue
+            if op == "subsp":
+                state.delta -= instr.ops[0]
+                continue
+            if op == "addsp":
+                self._release(instr, state, instr.ops[0], report)
+                state.delta += instr.ops[0]
+                continue
+            if op == "bx_lr":
+                if report and state.delta != 0:
+                    self.structural.append(
+                        f"'{self.mfn.name}' returns with sp {state.delta} "
+                        f"bytes away from its entry value"
+                    )
+                continue
+
+            write = self._write_of(instr, state.delta)
+            if write is not None:
+                ranges, is_ir = write
+                if report:
+                    self._check_store(instr, ranges, is_ir, state)
+                if state.pending and report:
+                    for released, fact in list(state.pending):
+                        if any(_overlap(r, released) for r in ranges):
+                            self._report_release(instr, released, fact)
+                            state.pending.remove((released, fact))
+
+            read = self._read_of(instr, state.delta)
+            if read is not None:
+                ranges, is_ir, what = read
+                old = state.facts.get(id(instr))
+                flags = (old.flags if old else 0) | FW
+                state.facts[id(instr)] = _Fact(instr, ranges, flags, is_ir, what)
+
+            if op == "push":
+                state.delta -= 4 * len(instr.regs)
+            elif op == "pop":
+                self._release(instr, state, 4 * len(instr.regs), report)
+                state.delta += 4 * len(instr.regs)
+        return state
+
+    def _release(self, instr: MInstr, state: _State, nbytes: int, report: bool) -> None:
+        released = (state.delta, state.delta + nbytes)
+        exposed = [f for f in state.facts.values() if f.overlaps([released])]
+        if not exposed:
+            return
+        if state.masked:
+            # Deferred: legal iff a checkpoint arrives before cpsie with
+            # no store into the released bytes in between.
+            state.pending.extend((released, f) for f in exposed)
+            return
+        if report:
+            for fact in exposed:
+                self._report_release(instr, released, fact)
+
+    # -- reporting -------------------------------------------------------
+    def _check_store(self, instr: MInstr, ranges, is_ir: bool, state: _State) -> None:
+        for fact in state.facts.values():
+            if is_ir and fact.is_ir:
+                continue  # delegated to the IR-level verifier
+            if not fact.overlaps(ranges):
+                continue
+            key = (id(fact.instr), id(instr))
+            if key in self.seen:
+                continue
+            self.seen.add(key)
+            kind = "forward" if fact.flags & FW else "backward"
+            self.engine.emit(Diagnostic(
+                severity=ERROR,
+                code=f"mir-war-{kind}",
+                message=(
+                    f"'{instr.opcode}' overwrites stack bytes first read "
+                    f"by {fact.what} in the same idempotent region"
+                ),
+                function=self.mfn.name,
+                level=LEVEL_MIR,
+                loc=instr.loc,
+                related=[(
+                    f"first read here by '{fact.instr.opcode}'",
+                    fact.instr.loc,
+                )],
+            ))
+
+    def _report_release(self, instr: MInstr, released, fact: _Fact) -> None:
+        key = ("release", id(fact.instr), id(instr))
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        self.engine.emit(Diagnostic(
+            severity=ERROR,
+            code="mir-war-release",
+            message=(
+                f"'{instr.opcode}' releases stack bytes "
+                f"[{released[0]}, {released[1]}) still exposed as reads by "
+                f"{fact.what}; interrupt stacking or a later call may "
+                f"overwrite them inside the open idempotent region"
+            ),
+            function=self.mfn.name,
+            level=LEVEL_MIR,
+            loc=instr.loc,
+            related=[(
+                f"read here by '{fact.instr.opcode}'",
+                fact.instr.loc,
+            )],
+        ))
+
+    # -- driver ----------------------------------------------------------
+    def run(self) -> None:
+        if not self.mfn.blocks:
+            return
+        order = self.mfn.blocks
+        index = {b.name: i for i, b in enumerate(order)}
+        in_states: Dict[str, Optional[_State]] = {b.name: None for b in order}
+        in_states[order[0].name] = _State()
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                state = in_states[block.name]
+                if state is None:
+                    continue
+                out = self._transfer(block, state.copy(), report=False)
+                for succ in block.successors():
+                    back = index[succ.name] <= index[block.name]
+                    flowed = out.copy(add_bk=back)
+                    existing = in_states[succ.name]
+                    if existing is None:
+                        in_states[succ.name] = flowed
+                        changed = True
+                    elif _merge(existing, flowed, self.structural, succ.name):
+                        changed = True
+        for block in order:
+            state = in_states[block.name]
+            if state is None:
+                continue
+            self._transfer(block, state.copy(), report=True)
+        # structural problems found along the way become diagnostics too,
+        # deduplicated (the fixpoint may revisit a join many times)
+        for problem in sorted(set(self.structural)):
+            self.engine.error(
+                "mir-stack-shape", problem,
+                function=self.mfn.name, level=LEVEL_MIR,
+            )
+
+
+def verify_mfunction_war(
+    mfn: MFunction,
+    ir_function=None,
+    alias_mode: str = PRECISE,
+    points_to=None,
+    calls_are_checkpoints: bool = True,
+    engine: Optional[DiagnosticEngine] = None,
+) -> DiagnosticEngine:
+    """Statically verify one machine function's stack WAR-freedom.
+
+    ``ir_function`` (the pre-lowering IR function) enables classification
+    of IR-originated accesses; without it any such access conservatively
+    may touch every address-taken slot.  Run after ``lower_frame`` so the
+    prologue/epilogues are present.
+    """
+    if engine is None:
+        engine = DiagnosticEngine()
+    aa = None
+    if ir_function is not None:
+        aa = AliasAnalysis(ir_function, alias_mode, points_to=points_to)
+    _MIRWARAnalysis(mfn, aa, calls_are_checkpoints, engine).run()
+    return engine
+
+
+def verify_mmodule_war(
+    mmodule,
+    ir_module=None,
+    alias_mode: str = PRECISE,
+    calls_are_checkpoints: bool = True,
+    engine: Optional[DiagnosticEngine] = None,
+) -> DiagnosticEngine:
+    """Verify every machine function of a lowered module."""
+    if engine is None:
+        engine = DiagnosticEngine()
+    points_to = None
+    ir_functions = {}
+    if ir_module is not None:
+        from ..analysis.pointsto import compute_points_to
+
+        points_to = compute_points_to(ir_module)
+        ir_functions = {f.name: f for f in ir_module.defined_functions()}
+    for mfn in mmodule.functions.values():
+        verify_mfunction_war(
+            mfn,
+            ir_function=ir_functions.get(mfn.name),
+            alias_mode=alias_mode,
+            points_to=points_to,
+            calls_are_checkpoints=calls_are_checkpoints,
+            engine=engine,
+        )
+    return engine
+
+
+__all__ = ["verify_mfunction_war", "verify_mmodule_war"]

@@ -14,6 +14,13 @@ from .loop_write_clusterer import (
     cluster_loop_writes,
     is_candidate,
 )
+from .lint import (
+    LintResult,
+    lint_benchmarks,
+    lint_module,
+    lint_sources,
+    strip_checkpoints,
+)
 from .profiling import collect_call_profile, iclang_pgo, profile_guided_expand
 from .region_bound import bound_region_sizes
 from .pipeline import (
@@ -38,4 +45,6 @@ __all__ = [
     "bound_region_sizes",
     "iclang", "compile_ir", "run_middle_end",
     "ENVIRONMENTS", "EnvironmentConfig", "environment",
+    "LintResult", "lint_module", "lint_sources", "lint_benchmarks",
+    "strip_checkpoints",
 ]

@@ -1,0 +1,157 @@
+"""``repro lint`` — whole-pipeline static WAR certification.
+
+Compiles mini-C sources (or a named benchsuite program) under one
+environment and collects every static verifier's findings into a single
+:class:`~repro.diagnostics.DiagnosticEngine`:
+
+* the IR-level region dataflow (:mod:`repro.analysis.static_war`) over
+  the instrumented middle-end IR,
+* the machine-level stack verifier (:mod:`repro.backend.mir_war`) over
+  the final machine IR (spill slots, pops, epilogue frame releases),
+* the structural machine-IR verifier (`verify_mfunction`), whose
+  findings are converted to ``mir-structural`` diagnostics rather than
+  raised, so a lint run always reports everything it found.
+
+Exit-code contract (used by the CLI and by CI): ``0`` — certified
+WAR-free; ``1`` — at least one error-severity diagnostic; ``2`` — the
+program failed to compile at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..analysis.static_war import verify_module_war
+from ..backend import MIRVerificationError, lower_module, verify_mfunction
+from ..backend.mir_war import verify_mmodule_war
+from ..diagnostics import LEVEL_MIR, DiagnosticEngine
+from ..frontend import compile_sources
+from ..ir import Module, verify_module
+from ..ir.instructions import Checkpoint
+from .pipeline import EnvironmentConfig, environment, run_middle_end
+
+#: Exit codes of the ``lint`` subcommand.
+EXIT_CLEAN = 0
+EXIT_ERRORS = 1
+EXIT_COMPILE_FAILED = 2
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting one program under one environment."""
+
+    name: str
+    env: str
+    engine: DiagnosticEngine
+
+    @property
+    def certified(self) -> bool:
+        return not self.engine.has_errors
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CLEAN if self.certified else EXIT_ERRORS
+
+
+def strip_checkpoints(module: Module) -> int:
+    """Remove every checkpoint intrinsic from ``module`` (testing aid:
+    deliberately un-protect an instrumented module so the verifier has
+    something to find).  Returns the number removed."""
+    removed = 0
+    for function in module.defined_functions():
+        for block in function.blocks:
+            kept = []
+            for instr in block.instructions:
+                if isinstance(instr, Checkpoint):
+                    instr.parent = None
+                    removed += 1
+                else:
+                    kept.append(instr)
+            block.instructions = kept
+    return removed
+
+
+def lint_module(
+    module: Module,
+    env: Union[str, EnvironmentConfig],
+    run_middle: bool = True,
+    name: Optional[str] = None,
+) -> LintResult:
+    """Lint an IR module: run the middle end (unless the caller already
+    did) and every static verifier, collecting all diagnostics."""
+    config = environment(env)
+    engine = DiagnosticEngine()
+    if run_middle:
+        run_middle_end(module, config)
+    verify_module_war(
+        module,
+        alias_mode=config.alias_mode,
+        calls_are_checkpoints=config.instrument,
+        engine=engine,
+    )
+    mmodule = lower_module(
+        module,
+        spill_checkpoint_mode=(
+            config.spill_checkpoint_mode if config.instrument else None
+        ),
+        epilogue_style=config.epilogue_style,
+        entry_checkpoints=config.instrument,
+    )
+    for mfn in mmodule.functions.values():
+        try:
+            verify_mfunction(mfn, after_regalloc=True)
+        except MIRVerificationError as exc:
+            for problem in exc.problems:
+                engine.error(
+                    "mir-structural", problem,
+                    function=mfn.name, level=LEVEL_MIR,
+                )
+    verify_mmodule_war(
+        mmodule,
+        module,
+        alias_mode=config.alias_mode,
+        calls_are_checkpoints=config.instrument,
+        engine=engine,
+    )
+    return LintResult(name or module.name, config.name, engine)
+
+
+def lint_sources(
+    sources: Union[str, List[str]],
+    env: Union[str, EnvironmentConfig] = "wario",
+    name: str = "program",
+) -> LintResult:
+    """Front-end + middle-end + all static verifiers for mini-C sources."""
+    if isinstance(sources, str):
+        sources = [sources]
+    module = compile_sources(sources, name)
+    verify_module(module)
+    return lint_module(module, env, name=name)
+
+
+def lint_benchmarks(
+    names: Union[str, List[str]] = "all",
+    env: Union[str, EnvironmentConfig] = "wario",
+) -> List[LintResult]:
+    """Lint benchsuite programs by name (``"all"`` for the whole suite)."""
+    from ..benchsuite import BENCHMARKS, get_benchmark
+
+    if names == "all":
+        selected = list(BENCHMARKS)
+    elif isinstance(names, str):
+        selected = [names]
+    else:
+        selected = list(names)
+    results = []
+    for bench_name in selected:
+        bench = get_benchmark(bench_name)
+        results.append(lint_sources(bench.source, env, name=bench_name))
+    return results
+
+
+__all__ = [
+    "EXIT_CLEAN", "EXIT_ERRORS", "EXIT_COMPILE_FAILED",
+    "LintResult", "strip_checkpoints",
+    "lint_module", "lint_sources", "lint_benchmarks",
+]

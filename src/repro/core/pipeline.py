@@ -24,7 +24,9 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Union
 
 from ..analysis.alias import CONSERVATIVE, PRECISE
-from ..backend import Program, compile_to_program
+from ..analysis.static_war import StaticWARError, verify_module_war
+from ..backend import Program, encode_module, lower_module
+from ..backend.mir_war import verify_mmodule_war
 from ..frontend import compile_sources
 from ..ir import Module, verify_module
 from ..transforms import optimize_module
@@ -110,10 +112,18 @@ def environment(name_or_config: Union[str, EnvironmentConfig]) -> EnvironmentCon
         ) from None
 
 
-def run_middle_end(module: Module, config: EnvironmentConfig) -> None:
+def run_middle_end(
+    module: Module, config: EnvironmentConfig, verify_static: bool = False
+) -> None:
     """WARio's middle end in the Figure 2 order: always-inline + -O3,
     Loop Write Clusterer, Expander, Write Clusterer, PDG Checkpoint
-    Inserter."""
+    Inserter.
+
+    ``verify_static`` re-proves WAR-freedom of the instrumented IR with
+    the independent region-dataflow verifier
+    (:mod:`repro.analysis.static_war`) and raises :class:`StaticWARError`
+    if any region still contains a load-before-store pair.
+    """
     optimize_module(module)
     if config.volatile_cache:
         from ..transforms.volatile_cache import cache_volatile_data
@@ -138,18 +148,48 @@ def run_middle_end(module: Module, config: EnvironmentConfig) -> None:
 
             bound_region_sizes(module, config.max_region_cycles)
     verify_module(module)
+    if verify_static:
+        engine = verify_module_war(
+            module,
+            alias_mode=config.alias_mode,
+            calls_are_checkpoints=config.instrument,
+        )
+        if engine.has_errors:
+            raise StaticWARError(engine)
 
 
-def compile_ir(module: Module, env: Union[str, EnvironmentConfig]) -> Program:
-    """Middle end + back end for an already-front-ended module."""
+def compile_ir(
+    module: Module,
+    env: Union[str, EnvironmentConfig],
+    verify_static: bool = False,
+) -> Program:
+    """Middle end + back end for an already-front-ended module.
+
+    With ``verify_static=True`` the static WAR verifiers certify the
+    module after each level — the instrumented middle-end IR and the
+    final machine IR (spill slots, pops, epilogue frame releases) — plus
+    the structural machine-IR checks; any error raises
+    :class:`StaticWARError` / ``MIRVerificationError``.
+    """
     config = environment(env)
-    run_middle_end(module, config)
-    return compile_to_program(
+    run_middle_end(module, config, verify_static=verify_static)
+    mmodule = lower_module(
         module,
         spill_checkpoint_mode=config.spill_checkpoint_mode if config.instrument else None,
         epilogue_style=config.epilogue_style,
         entry_checkpoints=config.instrument,
+        verify=verify_static,
     )
+    if verify_static:
+        engine = verify_mmodule_war(
+            mmodule,
+            module,
+            alias_mode=config.alias_mode,
+            calls_are_checkpoints=config.instrument,
+        )
+        if engine.has_errors:
+            raise StaticWARError(engine)
+    return encode_module(mmodule)
 
 
 def iclang(
@@ -157,11 +197,14 @@ def iclang(
     env: Union[str, EnvironmentConfig] = "wario",
     unroll_factor: Optional[int] = None,
     name: str = "program",
+    verify_static: bool = False,
 ) -> Program:
     """The drop-in compilation driver: mini-C source(s) -> executable.
 
     ``unroll_factor`` overrides the Loop Write Clusterer's N (paper
-    default: 8, found experimentally in §5.2.4).
+    default: 8, found experimentally in §5.2.4).  ``verify_static``
+    additionally certifies WAR-freedom at both IR and machine-IR level
+    (see :func:`compile_ir`).
     """
     config = environment(env)
     if unroll_factor is not None:
@@ -170,4 +213,4 @@ def iclang(
         sources = [sources]
     module = compile_sources(sources, name)
     verify_module(module)
-    return compile_ir(module, config)
+    return compile_ir(module, config, verify_static=verify_static)

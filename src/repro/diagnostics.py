@@ -1,0 +1,206 @@
+"""Structured compiler diagnostics.
+
+Every verifier in the reproduction (the static WAR verifiers, the machine
+IR structural verifier, the emulator's dynamic WAR checker) reports its
+findings as :class:`Diagnostic` values collected by a
+:class:`DiagnosticEngine`, so one program has one uniform diagnostic
+stream regardless of which level of the pipeline produced it.
+
+A diagnostic carries:
+
+* a *severity* (``error`` | ``warning`` | ``note``),
+* a stable *code* (e.g. ``war-forward``, ``mir-war-spill``) suitable for
+  filtering and CI gating,
+* the *level* that produced it (``ir`` middle end, ``mir`` back end,
+  ``dynamic`` emulator),
+* the owning *function* and an idempotent-*region* identifier,
+* a primary :class:`SourceLoc` (threaded from the mini-C front end
+  through IR lowering into machine IR, so even spill-slot diagnostics can
+  point back at a source line), and
+* *related* secondary notes — typically the load of a load/store WAR
+  pair, rendered under the primary store message.
+
+Renderers: :func:`render_text` (clang-style, one line per note) and
+:func:`render_json` (a stable machine-readable schema for tooling).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Severities, most severe first.
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+SEVERITIES = (ERROR, WARNING, NOTE)
+
+#: Pipeline levels a diagnostic can originate from.
+LEVEL_IR = "ir"
+LEVEL_MIR = "mir"
+LEVEL_DYNAMIC = "dynamic"
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A location in the mini-C source: ``file:line``.
+
+    ``line`` is 1-based; ``0`` means "unknown line".  ``file`` may be
+    empty when the translation unit was compiled from an in-memory
+    string (the benchsuite does this).
+    """
+
+    line: int = 0
+    file: str = ""
+
+    @property
+    def known(self) -> bool:
+        return self.line > 0
+
+    def __str__(self):
+        name = self.file or "<source>"
+        return f"{name}:{self.line}" if self.known else name
+
+
+@dataclass
+class Diagnostic:
+    """One finding, plus any attached secondary notes."""
+
+    severity: str
+    code: str
+    message: str
+    function: str = ""
+    region: str = ""
+    level: str = LEVEL_IR
+    loc: Optional[SourceLoc] = None
+    #: (note message, note location) pairs rendered under the primary.
+    related: List[Tuple[str, Optional[SourceLoc]]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "function": self.function,
+            "region": self.region,
+            "level": self.level,
+            "loc": _loc_dict(self.loc),
+            "related": [
+                {"message": msg, "loc": _loc_dict(loc)} for msg, loc in self.related
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{_loc_str(self.loc)}: {self.severity}: [{self.code}] {self.message}"
+        ]
+        context = []
+        if self.function:
+            context.append(f"function '{self.function}'")
+        if self.region:
+            context.append(f"region {self.region}")
+        if context:
+            lines[0] += f" ({', '.join(context)})"
+        for msg, loc in self.related:
+            lines.append(f"{_loc_str(loc)}: note: {msg}")
+        return "\n".join(lines)
+
+
+def _loc_dict(loc: Optional[SourceLoc]):
+    if loc is None or not loc.known:
+        return None
+    return {"file": loc.file, "line": loc.line}
+
+
+def _loc_str(loc: Optional[SourceLoc]) -> str:
+    return str(loc) if loc is not None else "<unknown>"
+
+
+class DiagnosticEngine:
+    """Collects diagnostics and answers severity queries.
+
+    One engine is threaded through every verification stage of a single
+    compilation, so ``engine.has_errors`` is the whole-pipeline verdict.
+    """
+
+    def __init__(self):
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- emission --------------------------------------------------------
+    def emit(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def error(self, code: str, message: str, **kwargs) -> Diagnostic:
+        return self.emit(Diagnostic(ERROR, code, message, **kwargs))
+
+    def warning(self, code: str, message: str, **kwargs) -> Diagnostic:
+        return self.emit(Diagnostic(WARNING, code, message, **kwargs))
+
+    def note(self, code: str, message: str, **kwargs) -> Diagnostic:
+        return self.emit(Diagnostic(NOTE, code, message, **kwargs))
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        for diagnostic in diagnostics:
+            self.emit(diagnostic)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def by_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    def summary(self) -> str:
+        errors, warnings = self.count(ERROR), self.count(WARNING)
+        if not errors and not warnings:
+            return "0 errors, 0 warnings"
+        return f"{errors} error{'s' * (errors != 1)}, " \
+               f"{warnings} warning{'s' * (warnings != 1)}"
+
+    # -- rendering -------------------------------------------------------
+    def render_text(self) -> str:
+        return render_text(self.diagnostics)
+
+    def render_json(self) -> str:
+        return render_json(self.diagnostics)
+
+
+def render_text(diagnostics: List[Diagnostic]) -> str:
+    """Clang-style plain-text rendering, one finding per paragraph."""
+    if not diagnostics:
+        return "no diagnostics"
+    return "\n".join(d.render() for d in diagnostics)
+
+
+def render_json(diagnostics: List[Diagnostic]) -> str:
+    """Stable machine-readable rendering (a JSON object per finding)."""
+    payload = {
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "counts": {
+            severity: sum(1 for d in diagnostics if d.severity == severity)
+            for severity in SEVERITIES
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+__all__ = [
+    "ERROR", "WARNING", "NOTE", "SEVERITIES",
+    "LEVEL_IR", "LEVEL_MIR", "LEVEL_DYNAMIC",
+    "SourceLoc", "Diagnostic", "DiagnosticEngine",
+    "render_text", "render_json",
+]

@@ -129,7 +129,8 @@ class Machine:
             raise EmulationError(f"store out of bounds: 0x{addr:x}")
         if self.war is not None:
             self.war.on_write(
-                addr, size, self.pc, self.program.function_of_index[self.pc]
+                addr, size, self.pc, self.program.function_of_index[self.pc],
+                loc=self.program.instrs[self.pc].loc,
             )
         self.memory[addr : addr + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
             size, "little"

@@ -8,12 +8,19 @@ observe the new value.  Unlike the middle-end analysis, this checker sees
 back-end and runtime traffic too (spills, pops, interrupt stacking),
 matching the paper's extension of Maioli et al.'s verification into the
 back end.
+
+Findings can be exported as :class:`~repro.diagnostics.Diagnostic` values
+(level ``dynamic``) so they share one stream with the static verifiers —
+the cross-check tests rely on the static verdict implying the dynamic
+one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..diagnostics import Diagnostic, ERROR, LEVEL_DYNAMIC, SourceLoc
 
 
 @dataclass
@@ -22,12 +29,30 @@ class Violation:
     pc: int
     function: str
     region_index: int
+    #: Source location of the offending store, when the program carries
+    #: debug locations (threaded frontend -> IR -> machine IR).
+    loc: Optional[SourceLoc] = None
 
     def __str__(self):
+        where = f", {self.loc}" if self.loc is not None and self.loc.known else ""
         return (
             f"WAR violation: store to 0x{self.address:x} after a load in the "
             f"same idempotent region (pc={self.pc}, fn={self.function}, "
-            f"region #{self.region_index})"
+            f"region #{self.region_index}{where})"
+        )
+
+    def to_diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            severity=ERROR,
+            code="war-dynamic",
+            message=(
+                f"store to 0x{self.address:x} overwrote a location first "
+                f"read in the same idempotent region (pc={self.pc})"
+            ),
+            function=self.function,
+            region=f"#{self.region_index}",
+            level=LEVEL_DYNAMIC,
+            loc=self.loc,
         )
 
 
@@ -49,14 +74,23 @@ class WARChecker:
             if a not in first:
                 first[a] = self.READ
 
-    def on_write(self, address: int, size: int, pc: int = -1, function: str = "?") -> None:
+    def on_write(
+        self,
+        address: int,
+        size: int,
+        pc: int = -1,
+        function: str = "?",
+        loc: Optional[SourceLoc] = None,
+    ) -> None:
         first = self._first
         for a in range(address, address + size):
             kind = first.get(a)
             if kind is None:
                 first[a] = self.WRITE
             elif kind == self.READ:
-                self.violations.append(Violation(a, pc, function, self.region_index))
+                self.violations.append(
+                    Violation(a, pc, function, self.region_index, loc)
+                )
                 if not self.record_all:
                     # Record one violation per (region, address): promote
                     # to WRITE so a loop does not flood the list.
@@ -74,3 +108,6 @@ class WARChecker:
     @property
     def clean(self) -> bool:
         return not self.violations
+
+    def to_diagnostics(self) -> List[Diagnostic]:
+        return [v.to_diagnostic() for v in self.violations]

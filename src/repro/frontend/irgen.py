@@ -25,6 +25,7 @@ from ..ir import (
     Type,
     Value,
 )
+from ..diagnostics import SourceLoc
 from ..ir.instructions import ICmp
 from . import c_ast as ast
 from .c_ast import CType
@@ -94,6 +95,7 @@ class IRGenerator:
     def __init__(self, program: ast.Program, module_name: str = "module"):
         self.program = program
         self.module = Module(module_name)
+        self.file = module_name  # sources are in-memory; name the unit
         self.func_types: Dict[str, Tuple[CType, List[CType]]] = {}
         self.globals_scope = _Scope()
         # per-function state
@@ -193,6 +195,8 @@ class IRGenerator:
         self.scope = self.scope.parent
 
     def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        if stmt.line > 0:
+            self.builder.loc = SourceLoc(stmt.line, self.file)
         if self.builder.block.terminator is not None:
             # dead code after break/continue/return: park in a fresh block
             self._seal_and_switch(self._new_block("dead"))

@@ -36,6 +36,9 @@ class IRBuilder:
     def __init__(self, block: Optional[BasicBlock] = None):
         self.block = block
         self.index: Optional[int] = None  # None = append at end
+        #: Current source location (``repro.diagnostics.SourceLoc`` or
+        #: None); stamped onto every inserted instruction that has none.
+        self.loc = None
 
     # -- positioning -----------------------------------------------------
     def position_at_end(self, block: BasicBlock) -> "IRBuilder":
@@ -51,6 +54,8 @@ class IRBuilder:
     def _insert(self, instr: Instruction) -> Instruction:
         if self.block is None:
             raise RuntimeError("builder has no insertion block")
+        if self.loc is not None and instr.loc is None:
+            instr.loc = self.loc
         if self.index is None:
             self.block.append(instr)
         else:

@@ -47,6 +47,12 @@ class Instruction(Value):
 
     opcode = "<abstract>"
 
+    #: Originating mini-C source location (a ``repro.diagnostics.SourceLoc``)
+    #: or None.  Stamped by the IR builder, preserved by clone sites, and
+    #: threaded into machine IR so diagnostics at every level can point at
+    #: source.  Deliberately NOT part of structural identity.
+    loc = None
+
     def __init__(self, ty: Type, operands, name: str = ""):
         super().__init__(ty, name)
         self.operands: List[Value] = list(operands)

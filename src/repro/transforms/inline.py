@@ -80,6 +80,7 @@ def inline_call(call: Call) -> List[BasicBlock]:
                 clone.append(Branch(cont))
                 continue
             copy = instr.clone()
+            copy.loc = instr.loc
             value_map[id(instr)] = copy
             clone.append(copy)
 

@@ -92,6 +92,7 @@ def unroll_single_block_loop(loop: Loop, factor: int) -> UnrolledLoop:
             if instr.is_terminator:
                 continue
             copy = instr.clone()
+            copy.loc = instr.loc
             for i, op in enumerate(copy.operands):
                 copy.operands[i] = _lookup_chained(cur_map, prev_map, op)
             cur_map[id(instr)] = copy
