@@ -7,13 +7,16 @@ Usage::
     python -m repro run program.c --env ratchet --print-globals acc,total
     python -m repro lint program.c --env wario
     python -m repro lint --benchmark all --env wario-expander --format json
+    python -m repro analyze --benchmark all --env wario-summaries
     python -m repro envs
 
 ``compile`` prints (or writes) a disassembly listing plus size/static
 statistics; ``run`` executes on the emulator and reports execution
 statistics; ``lint`` statically certifies WAR-freedom (exit 0 clean,
-1 diagnostics of severity error, 2 compile failure); ``envs`` lists the
-available software environments.
+1 diagnostics of severity error, 2 compile failure); ``analyze`` dumps
+the interprocedural points-to sets, mod/ref summaries and every
+precision-loss cause; ``envs`` lists the available software
+environments.
 """
 
 from __future__ import annotations
@@ -81,6 +84,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              "('all' for the whole suite)")
     lint_p.add_argument("--env", default="wario")
     lint_p.add_argument("--format", choices=("text", "json"), default="text")
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="dump points-to sets, mod/ref summaries and precision losses",
+    )
+    analyze_p.add_argument("sources", nargs="*", help="mini-C source files")
+    analyze_p.add_argument("--benchmark", default=None, metavar="NAME",
+                          help="analyze a benchsuite program instead of "
+                               "files ('all' for the whole suite)")
+    analyze_p.add_argument("--env", default="wario-summaries")
+    analyze_p.add_argument("--format", choices=("text", "json"),
+                          default="text")
 
     sub.add_parser("envs", help="list the software environments")
     return parser
@@ -172,6 +187,12 @@ def _cmd_lint(args) -> int:
         return EXIT_COMPILE_FAILED
     if args.format == "json":
         diagnostics = [d for r in results for d in r.engine.diagnostics]
+        # Deterministic order so CI diffs are stable across runs.
+        diagnostics.sort(key=lambda d: (
+            d.loc.file if d.loc is not None else "",
+            d.loc.line if d.loc is not None else 0,
+            d.code,
+        ))
         print(render_json(diagnostics))
     else:
         for result in results:
@@ -184,6 +205,137 @@ def _cmd_lint(args) -> int:
                 print(result.engine.render_text())
     clean = all(r.certified for r in results)
     return EXIT_CLEAN if clean else EXIT_ERRORS
+
+
+def _object_name(obj) -> str:
+    from .ir.values import GlobalVariable
+
+    prefix = "@" if isinstance(obj, GlobalVariable) else "%"
+    return prefix + (getattr(obj, "name", "") or "?")
+
+
+def _object_names(objs):
+    """Sorted printable names of a summary set, or None for TOP."""
+    if objs is None:
+        return None
+    return sorted(_object_name(o) for o in objs)
+
+
+def _analyze_one(module, config):
+    """(function rows, argument rows, cause rows) for one module."""
+    from .analysis.summaries import compute_summaries
+    from .ir.types import is_pointer
+    from .transforms import optimize_module
+
+    optimize_module(module)
+    table = compute_summaries(module, alias_mode=config.alias_mode)
+    functions = []
+    for name in sorted(table.functions):
+        summary = table.functions[name]
+        functions.append({
+            "function": name,
+            "mod": _object_names(summary.mod),
+            "ref": _object_names(summary.ref),
+            "pure": summary.pure,
+            "read_only": summary.read_only,
+            "recursive": summary.recursive,
+            "transparent": name in table.transparent,
+        })
+    arguments = []
+    for function in module.defined_functions():
+        for arg in function.args:
+            if not is_pointer(arg.type):
+                continue
+            arguments.append({
+                "function": function.name,
+                "argument": arg.name,
+                "points_to": _object_names(
+                    table.arg_points_to.get(id(arg), frozenset())
+                ),
+            })
+    arguments.sort(key=lambda row: (row["function"], row["argument"]))
+    causes = sorted(
+        {(c.code, c.function, c.detail) for c in table.causes}
+    )
+    return functions, arguments, causes
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from .core.pipeline import environment
+    from .frontend import compile_sources
+    from .ir import verify_module
+
+    if bool(args.sources) == bool(args.benchmark):
+        print("analyze: pass either source files or --benchmark NAME",
+              file=sys.stderr)
+        return 2
+    config = environment(args.env)
+    programs = []
+    if args.benchmark:
+        from .benchsuite import BENCHMARKS, get_benchmark
+
+        names = list(BENCHMARKS) if args.benchmark == "all" else [args.benchmark]
+        for name in names:
+            programs.append((name, [get_benchmark(name).source]))
+    else:
+        programs.append((args.sources[0], _read_sources(args.sources)))
+
+    report = []
+    for name, sources in programs:
+        module = compile_sources(sources, name)
+        verify_module(module)
+        functions, arguments, causes = _analyze_one(module, config)
+        report.append({
+            "program": name,
+            "env": config.name,
+            "functions": functions,
+            "arguments": arguments,
+            "precision_losses": [
+                {"code": code, "function": fn, "detail": detail}
+                for code, fn, detail in causes
+            ],
+        })
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+        return 0
+    for entry in report:
+        print(f"== {entry['program']} [{entry['env']}] ==")
+        for row in entry["functions"]:
+            tags = [
+                tag for tag, on in (
+                    ("pure", row["pure"]),
+                    ("read-only", row["read_only"] and not row["pure"]),
+                    ("recursive", row["recursive"]),
+                    ("transparent", row["transparent"]),
+                ) if on
+            ]
+            suffix = f"  [{', '.join(tags)}]" if tags else ""
+            print(f"  {row['function']}{suffix}")
+            for kind in ("mod", "ref"):
+                sets = row[kind]
+                rendered = "TOP" if sets is None else (
+                    "{" + ", ".join(sets) + "}"
+                )
+                print(f"    {kind}: {rendered}")
+        if entry["arguments"]:
+            print("  pointer arguments:")
+            for row in entry["arguments"]:
+                sets = row["points_to"]
+                rendered = "TOP" if sets is None else (
+                    "{" + ", ".join(sets) + "}"
+                )
+                print(f"    {row['function']}({row['argument']}) -> {rendered}")
+        if entry["precision_losses"]:
+            print("  precision losses:")
+            for loss in entry["precision_losses"]:
+                print(f"    [{loss['code']}] {loss['function']}: "
+                      f"{loss['detail']}")
+        else:
+            print("  precision losses: none")
+    return 0
 
 
 def _cmd_envs(_args) -> int:
@@ -199,6 +351,8 @@ def _cmd_envs(_args) -> int:
                 bits.append("write-clusterer")
             if config.expander:
                 bits.append("expander")
+            if config.call_summaries:
+                bits.append("call-summaries")
             bits.append(f"spill={config.spill_checkpoint_mode}")
             bits.append(f"epilogue={config.epilogue_style}")
         print(f"{name:<22} {', '.join(bits)}")
@@ -213,6 +367,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     return _cmd_envs(args)
 
 

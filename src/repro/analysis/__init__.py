@@ -18,11 +18,24 @@ from .memdep import (
     access_size,
     block_memory_accesses,
     find_wars,
+    summary_sets_intersect,
+)
+from .pointsto import (
+    MAX_GEP_DEPTH,
+    TopCause,
+    compute_points_to,
+    report_top_causes,
 )
 from .static_war import (
     StaticWARError,
     verify_function_war,
     verify_module_war,
+)
+from .summaries import (
+    AndersenPointsTo,
+    FunctionSummary,
+    SummaryTable,
+    compute_summaries,
 )
 
 __all__ = [
@@ -33,6 +46,8 @@ __all__ = [
     "post_dominator_tree", "dominance_frontiers",
     "Loop", "LoopInfo", "loop_info", "find_induction_variables",
     "WARViolation", "find_wars", "access_size", "block_memory_accesses",
-    "FORWARD", "BACKWARD",
+    "FORWARD", "BACKWARD", "summary_sets_intersect",
+    "MAX_GEP_DEPTH", "TopCause", "compute_points_to", "report_top_causes",
+    "AndersenPointsTo", "FunctionSummary", "SummaryTable", "compute_summaries",
     "StaticWARError", "verify_function_war", "verify_module_war",
 ]

@@ -6,6 +6,13 @@ over possibly-the-same NVM address where the store executes after the load
 Re-executing such a region after a power failure makes the load observe
 the new value (paper Figure 1), so each WAR must be broken by a
 checkpoint between its read and its write.
+
+With a :class:`~repro.analysis.summaries.SummaryTable` the call model is
+relaxed: a call is a barrier only when the callee may actually checkpoint
+(it is not *transparent*); a call to a transparent callee instead
+participates as a memory access itself — its ref set as a read, its mod
+set as a write — so WARs through the call are found and breakable while
+WAR-free callees stop forcing entry/exit checkpoints.
 """
 
 from __future__ import annotations
@@ -27,7 +34,12 @@ BACKWARD = "backward"
 
 @dataclass
 class WARViolation:
-    """One WAR violation that a checkpoint must break."""
+    """One WAR violation that a checkpoint must break.
+
+    Either endpoint may be a :class:`Call` to a transparent callee (the
+    read then stands for the callee's ref set, the write for its mod
+    set).
+    """
 
     load: Load
     store: Store
@@ -46,11 +58,27 @@ def access_size(instr) -> int:
     raise TypeError(f"not a memory access: {instr!r}")
 
 
+def summary_sets_intersect(a: Optional[frozenset], b: Optional[frozenset]) -> bool:
+    """Object-granular overlap; ``None`` (TOP) intersects everything."""
+    if a is None or b is None:
+        return True
+    return bool(a & b)
+
+
+def _endpoint_objects(instr, aa: AliasAnalysis, summaries, want_mod: bool):
+    """Objects an endpoint (load/store/transparent call) may touch, or
+    None for TOP."""
+    if isinstance(instr, Call):
+        return summaries.call_mod(instr) if want_mod else summaries.call_ref(instr)
+    return aa.classify(instr.pointer).possible_bases()
+
+
 def find_wars(
     function,
     aa: AliasAnalysis,
     loop_info: LoopInfo,
     calls_are_checkpoints: bool = True,
+    summaries=None,
 ) -> List[WARViolation]:
     """All unresolved WAR violations of ``function``.
 
@@ -58,6 +86,10 @@ def find_wars(
     entry/exit: a call on every path between the read and the write of a
     WAR already breaks it (paper §3.1.2, PDG Checkpoint Inserter).
     Checkpoint instructions already present in the IR likewise resolve.
+
+    ``summaries`` (a :class:`~repro.analysis.summaries.SummaryTable`)
+    relaxes the call model: calls to transparent callees are not
+    barriers but contribute their ref/mod sets as read/write endpoints.
     """
     loads: List[Load] = []
     stores: List[Store] = []
@@ -71,7 +103,17 @@ def find_wars(
                 loads.append(instr)
             elif isinstance(instr, Store):
                 stores.append(instr)
-            if _is_barrier(instr, calls_are_checkpoints):
+            elif (
+                isinstance(instr, Call)
+                and calls_are_checkpoints
+                and summaries is not None
+                and summaries.is_transparent_call(instr)
+            ):
+                # A region may span this call: the callee's reads and
+                # writes happen inside the caller's open region.
+                loads.append(instr)
+                stores.append(instr)
+            if _is_barrier(instr, calls_are_checkpoints, summaries):
                 barriers.append(idx)
         barrier_index[id(block)] = barriers
 
@@ -80,10 +122,8 @@ def find_wars(
     wars: List[WARViolation] = []
     for load in loads:
         lblock, lidx = positions[id(load)]
-        lsize = access_size(load)
         for store in stores:
             sblock, sidx = positions[id(store)]
-            ssize = access_size(store)
             pair_key = (id(lblock), id(sblock))
             if pair_key in common_cache:
                 common = common_cache[pair_key]
@@ -91,9 +131,9 @@ def find_wars(
                 common = loop_info.common_loop(lblock, sblock)
                 common_cache[pair_key] = common
             war = _classify_pair(
-                load, lblock, lidx, lsize,
-                store, sblock, sidx, ssize,
-                aa, common, reach,
+                load, lblock, lidx,
+                store, sblock, sidx,
+                aa, common, reach, summaries,
             )
             if war is None:
                 continue
@@ -126,25 +166,42 @@ def _resolved_by_barrier_index(
 
 
 def _classify_pair(
-    load, lblock, lidx, lsize,
-    store, sblock, sidx, ssize,
+    load, lblock, lidx,
+    store, sblock, sidx,
     aa: AliasAnalysis,
     common: Optional[Loop],
     reach,
+    summaries=None,
 ) -> Optional[WARViolation]:
-    same_iter_alias = aa.may_alias(load.pointer, lsize, store.pointer, ssize)
-    cross_alias = (
-        common is not None
-        and aa.may_alias_cross_iteration(
-            load.pointer, lsize, store.pointer, ssize, common
+    if isinstance(load, Call) or isinstance(store, Call):
+        # Object-granular: the callee may touch any part of its summary
+        # objects in any iteration, so the same test serves both the
+        # same-iteration and the cross-iteration query.
+        overlap = summary_sets_intersect(
+            _endpoint_objects(load, aa, summaries, want_mod=False),
+            _endpoint_objects(store, aa, summaries, want_mod=True),
         )
-    )
+        same_iter_alias = cross_alias = overlap
+    else:
+        lsize = access_size(load)
+        ssize = access_size(store)
+        same_iter_alias = aa.may_alias(load.pointer, lsize, store.pointer, ssize)
+        cross_alias = (
+            common is not None
+            and aa.may_alias_cross_iteration(
+                load.pointer, lsize, store.pointer, ssize, common
+            )
+        )
+    if common is None:
+        cross_alias = False
     if lblock is sblock:
         if sidx > lidx:
             if same_iter_alias or cross_alias:
                 return WARViolation(load, store, FORWARD)
             return None
-        # Store textually at/before the load: only reachable around a cycle.
+        # Store textually at/before the load (or the same transparent
+        # call, reading and writing once per execution): only reachable
+        # around a cycle.
         if common is None or not cross_alias:
             return None
         return WARViolation(load, store, BACKWARD)
@@ -159,14 +216,19 @@ def _classify_pair(
     return None
 
 
-def _is_barrier(instr, calls_are_checkpoints: bool) -> bool:
+def _is_barrier(instr, calls_are_checkpoints: bool, summaries=None) -> bool:
     if isinstance(instr, Checkpoint):
         return True
-    return calls_are_checkpoints and isinstance(instr, Call)
+    if not calls_are_checkpoints or not isinstance(instr, Call):
+        return False
+    if summaries is not None and summaries.is_transparent_call(instr):
+        return False
+    return True
 
 
 def _resolved_by_barrier(
-    war: WARViolation, lblock, lidx, sblock, sidx, calls_are_checkpoints: bool
+    war: WARViolation, lblock, lidx, sblock, sidx, calls_are_checkpoints: bool,
+    summaries=None,
 ) -> bool:
     """True if a forced checkpoint lies on *every* load->store path.
 
@@ -178,12 +240,12 @@ def _resolved_by_barrier(
             segment = lblock.instructions[lidx + 1 : sidx]
         else:
             segment = lblock.instructions[lidx + 1 :] + lblock.instructions[:sidx]
-        return any(_is_barrier(i, calls_are_checkpoints) for i in segment)
+        return any(_is_barrier(i, calls_are_checkpoints, summaries) for i in segment)
     after_load = lblock.instructions[lidx + 1 :]
     before_store = sblock.instructions[:sidx]
     return any(
-        _is_barrier(i, calls_are_checkpoints) for i in after_load
-    ) or any(_is_barrier(i, calls_are_checkpoints) for i in before_store)
+        _is_barrier(i, calls_are_checkpoints, summaries) for i in after_load
+    ) or any(_is_barrier(i, calls_are_checkpoints, summaries) for i in before_store)
 
 
 def block_memory_accesses(block) -> List:

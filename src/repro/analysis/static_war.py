@@ -41,6 +41,13 @@ Interprocedural behaviour follows the instrumentation model:
   so a call with exposed loads is itself reported, and the call becomes
   an exposed load of *everything* (the whole-program points-to summary
   bounds nothing once the region spans unknown callees).
+* ``summaries`` (a :class:`~repro.analysis.summaries.SummaryTable`) —
+  the relaxed call model: a call is a barrier only when the callee is
+  not *transparent*; a transparent call is checked as a write of the
+  callee's mod set against the exposed loads, then becomes an exposed
+  read of the callee's ref set.  This mirrors
+  :func:`repro.analysis.memdep.find_wars` exactly, so the verifier
+  re-certifies what the summaries-aware inserter produced.
 """
 
 from __future__ import annotations
@@ -58,7 +65,7 @@ from ..ir.instructions import Call, Checkpoint, Load, Store
 from .alias import AliasAnalysis, PRECISE
 from .cfg import reverse_postorder
 from .loops import LoopInfo, loop_info
-from .memdep import BACKWARD, FORWARD, access_size
+from .memdep import BACKWARD, FORWARD, access_size, summary_sets_intersect
 
 #: Path flags on an exposed-load fact.
 FW = 1   # reaches without crossing a back edge (same iteration)
@@ -98,7 +105,8 @@ def retreating_edges(function) -> set:
     return edges
 
 
-def region_labels(function, calls_are_checkpoints: bool) -> Dict[int, str]:
+def region_labels(function, calls_are_checkpoints: bool,
+                  summaries=None) -> Dict[int, str]:
     """A human-readable idempotent-region identifier for every block
     entry: the position of the nearest *dominating* barrier, or
     ``"entry"``.  Purely informational — the dataflow itself is
@@ -122,7 +130,7 @@ def region_labels(function, calls_are_checkpoints: bool) -> Dict[int, str]:
     def label_at_exit(block) -> str:
         label = label_at_entry(block)
         for idx, instr in enumerate(block.instructions):
-            if _is_barrier(instr, calls_are_checkpoints):
+            if _is_barrier(instr, calls_are_checkpoints, summaries):
                 label = f"{block.name}@{idx}"
         return label
 
@@ -131,10 +139,14 @@ def region_labels(function, calls_are_checkpoints: bool) -> Dict[int, str]:
     return labels
 
 
-def _is_barrier(instr, calls_are_checkpoints: bool) -> bool:
+def _is_barrier(instr, calls_are_checkpoints: bool, summaries=None) -> bool:
     if isinstance(instr, Checkpoint):
         return True
-    return calls_are_checkpoints and isinstance(instr, Call)
+    if not calls_are_checkpoints or not isinstance(instr, Call):
+        return False
+    if summaries is not None and summaries.is_transparent_call(instr):
+        return False
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -168,11 +180,13 @@ class _FunctionWARAnalysis:
         aa: AliasAnalysis,
         li: LoopInfo,
         calls_are_checkpoints: bool,
+        summaries=None,
     ):
         self.function = function
         self.aa = aa
         self.li = li
         self.calls_are_checkpoints = calls_are_checkpoints
+        self.summaries = summaries
         self.back_edges = retreating_edges(function)
         self.in_states: Dict[int, State] = {id(b): {} for b in function.blocks}
 
@@ -180,13 +194,7 @@ class _FunctionWARAnalysis:
     def _transfer_block(self, block, state: State, report=None) -> State:
         state = dict(state)
         for idx, instr in enumerate(block.instructions):
-            if _is_barrier(instr, self.calls_are_checkpoints):
-                if (
-                    report is not None
-                    and isinstance(instr, Call)
-                    and not self.calls_are_checkpoints
-                ):
-                    pass  # unreachable: non-checkpoint calls don't barrier
+            if _is_barrier(instr, self.calls_are_checkpoints, self.summaries):
                 state.clear()
                 if isinstance(instr, Call):
                     # The callee's entry checkpoint ends the region, but the
@@ -196,11 +204,22 @@ class _FunctionWARAnalysis:
                     pass
                 continue
             if isinstance(instr, Call):
-                # Region spans the call (plain build): report it against the
-                # open exposed loads, then treat the callee as having read
-                # arbitrary memory inside the still-open region.
-                if report is not None and state:
-                    report.call_in_region(instr, block, idx, state)
+                if self.calls_are_checkpoints:
+                    # Transparent callee (relaxed model): the call writes
+                    # its mod set inside the still-open region — check it
+                    # against the exposed loads — then exposes its ref set
+                    # as a read.
+                    if report is not None:
+                        for fact_instr, flags in list(state.values()):
+                            kind = self._war_kind(fact_instr, flags, instr)
+                            if kind is not None:
+                                report.war(fact_instr, flags, instr, kind)
+                else:
+                    # Region spans the call (plain build): report it against
+                    # the open exposed loads, then treat the callee as having
+                    # read arbitrary memory inside the still-open region.
+                    if report is not None and state:
+                        report.call_in_region(instr, block, idx, state)
                 state[id(instr)] = (instr, state.get(id(instr), (instr, 0))[1] | FW)
                 continue
             if isinstance(instr, Load):
@@ -215,10 +234,35 @@ class _FunctionWARAnalysis:
                             report.war(fact_instr, flags, instr, kind)
         return state
 
-    def _war_kind(self, fact_instr, flags: int, store: Store) -> Optional[str]:
-        """Does ``store`` form a WAR with the exposed ``fact_instr``?"""
-        if isinstance(fact_instr, Call):
+    def _endpoint_objects(self, instr, want_mod: bool):
+        """Objects a fact/store endpoint may touch (None = TOP)."""
+        if isinstance(instr, Call):
+            if self.summaries is None:
+                return None
+            if want_mod:
+                return self.summaries.call_mod(instr)
+            return self.summaries.call_ref(instr)
+        return self.aa.classify(instr.pointer).possible_bases()
+
+    def _war_kind(self, fact_instr, flags: int, store) -> Optional[str]:
+        """Does ``store`` (a Store, or a transparent Call standing in for
+        its mod set) form a WAR with the exposed ``fact_instr``?"""
+        if isinstance(fact_instr, Call) and not self.calls_are_checkpoints:
             return "call"
+        if isinstance(fact_instr, Call) or isinstance(store, Call):
+            if fact_instr is store and not flags & BK:
+                # One execution of one call: the callee's internal
+                # ordering was proven WAR-free when it was classified
+                # transparent.
+                return None
+            overlap = summary_sets_intersect(
+                self._endpoint_objects(fact_instr, want_mod=False),
+                self._endpoint_objects(store, want_mod=True),
+            )
+            if not overlap:
+                return None
+            # Object-granular facts alias identically in every iteration.
+            return FORWARD if flags & FW and fact_instr is not store else BACKWARD
         load = fact_instr
         lsize = access_size(load)
         ssize = access_size(store)
@@ -303,6 +347,11 @@ class _Reporter:
             return ""
         return self.labels.get(id(block), "entry")
 
+    def _describe_endpoint(self, instr) -> str:
+        if isinstance(instr, Call):
+            return f"call to '{instr.callee.name}'"
+        return describe_access(instr, self.aa)
+
     def war(self, load, flags: int, store, kind: str) -> None:
         key = (id(load), id(store))
         if key in self.seen:
@@ -333,22 +382,33 @@ class _Reporter:
             FORWARD: "later in the same idempotent region",
             BACKWARD: "in a later iteration of the same idempotent region",
         }[kind]
-        store_desc = describe_access(store, self.aa)
-        load_desc = describe_access(load, self.aa)
+        if isinstance(store, Call):
+            store_clause = (
+                f"{self._describe_endpoint(store)} may overwrite (via its "
+                f"mod set) a location"
+            )
+        else:
+            store_clause = (
+                f"store to {describe_access(store, self.aa)} may overwrite "
+                f"a location"
+            )
+        if isinstance(load, Call):
+            read_by = f"inside {self._describe_endpoint(load)} (its ref set)"
+        else:
+            read_by = f"by load {describe_access(load, self.aa)}"
         diag = Diagnostic(
             severity=ERROR,
             code=f"war-{kind}",
             message=(
-                f"store to {store_desc} may overwrite a location "
-                f"first read {where}; re-execution after a power failure "
-                f"would observe the new value"
+                f"{store_clause} first read {where}; re-execution after a "
+                f"power failure would observe the new value"
             ),
             function=self.function.name,
             region=self._region_of(load),
             level=LEVEL_IR,
             loc=getattr(store, "loc", None),
             related=[(
-                f"location first read here by load {load_desc}",
+                f"location first read here {read_by}",
                 getattr(load, "loc", None),
             )],
         )
@@ -391,15 +451,18 @@ def verify_function_war(
     points_to=None,
     calls_are_checkpoints: bool = True,
     engine: Optional[DiagnosticEngine] = None,
+    summaries=None,
 ) -> DiagnosticEngine:
     """Statically verify one function's WAR-freedom; returns the engine."""
     if engine is None:
         engine = DiagnosticEngine()
     aa = AliasAnalysis(function, alias_mode, points_to=points_to)
     li = loop_info(function)
-    analysis = _FunctionWARAnalysis(function, aa, li, calls_are_checkpoints)
+    analysis = _FunctionWARAnalysis(
+        function, aa, li, calls_are_checkpoints, summaries
+    )
     analysis.run()
-    labels = region_labels(function, calls_are_checkpoints)
+    labels = region_labels(function, calls_are_checkpoints, summaries)
     reporter = _Reporter(engine, function, aa, labels, set())
     analysis.report(reporter)
     return engine
@@ -410,18 +473,27 @@ def verify_module_war(
     alias_mode: str = PRECISE,
     calls_are_checkpoints: bool = True,
     engine: Optional[DiagnosticEngine] = None,
+    summaries=None,
 ) -> DiagnosticEngine:
     """Statically verify every defined function of ``module``.
 
     The verifier must see the *final* middle-end IR — i.e. run it after
     checkpoint insertion (or on an uninstrumented module to demonstrate
     why ``plain`` is unsafe under intermittent power).
+
+    When ``summaries`` is given its whole-program points-to map drives
+    alias queries and transparent callees stop acting as barriers; the
+    verifier then certifies the same relaxed call model the inserter
+    used.
     """
     from .pointsto import compute_points_to
 
     if engine is None:
         engine = DiagnosticEngine()
-    points_to = compute_points_to(module)
+    if summaries is not None:
+        points_to = summaries.arg_points_to
+    else:
+        points_to = compute_points_to(module)
     for function in module.defined_functions():
         verify_function_war(
             function,
@@ -429,6 +501,7 @@ def verify_module_war(
             points_to=points_to,
             calls_are_checkpoints=calls_are_checkpoints,
             engine=engine,
+            summaries=summaries,
         )
     return engine
 

@@ -38,6 +38,7 @@ def lower_module(
     epilogue_style: str = "plain",
     entry_checkpoints: bool = False,
     verify: bool = False,
+    transparent=None,
 ) -> MModule:
     """Lower an IR module to machine code.
 
@@ -47,7 +48,19 @@ def lower_module(
     non-main function entry.  ``verify`` runs the structural machine-IR
     verifier after selection (virtual-register defined-before-use) and
     after frame lowering (all-physical, slot validity, block shape).
+
+    ``transparent`` (a set of function names from
+    :func:`repro.analysis.summaries.compute_summaries`) enables
+    cross-call checkpoint elision: a transparent function gets no entry
+    checkpoint, calls to it are not spill-WAR barriers in its callers,
+    and — when its lowered body still contains no checkpoint and takes
+    no address of a slot — it keeps the cheap plain epilogue instead of
+    the configured checkpointing style.
     """
+    transparent = transparent or set()
+    barrier_callees = None
+    if transparent:
+        barrier_callees = set(ir_module.functions) - transparent
     mmodule = MModule(ir_module.name)
     mmodule.globals = dict(ir_module.globals)
     for function in ir_module.defined_functions():
@@ -59,16 +72,28 @@ def lower_module(
         if verify:
             verify_mfunction(mfn)
         spills, remats = allocate_registers(mfn)
+        is_transparent = function.name in transparent
         if spill_checkpoint_mode is not None:
             insert_spill_checkpoints(
-                mfn, spill_checkpoint_mode, calls_are_checkpoints=entry_checkpoints
+                mfn, spill_checkpoint_mode,
+                calls_are_checkpoints=entry_checkpoints,
+                barrier_callees=barrier_callees,
             )
+        # A transparent function whose lowered body still checkpoints
+        # nowhere (the spill inserter may have added some) and never
+        # leaks a slot address runs entirely inside the caller's region:
+        # the prologue pushes cover the epilogue pops, so the plain
+        # epilogue is WAR-free and the checkpointing styles would only
+        # waste a checkpoint.
+        plain_epilogue = is_transparent and not any(
+            i.opcode in ("checkpoint", "lea") for i in mfn.instructions()
+        )
         lower_frame(
             mfn,
             spills,
             remats=remats,
-            epilogue_style=epilogue_style,
-            entry_checkpoint=entry_checkpoints,
+            epilogue_style="plain" if plain_epilogue else epilogue_style,
+            entry_checkpoint=entry_checkpoints and not is_transparent,
             is_entry_function=(function.name == "main"),
         )
         if verify:
@@ -83,11 +108,12 @@ def compile_to_program(
     epilogue_style: str = "plain",
     entry_checkpoints: bool = False,
     verify: bool = False,
+    transparent=None,
 ) -> Program:
     """Lower and encode an IR module into an executable image."""
     mmodule = lower_module(
         ir_module, spill_checkpoint_mode, epilogue_style, entry_checkpoints,
-        verify=verify,
+        verify=verify, transparent=transparent,
     )
     return encode_module(mmodule)
 

@@ -62,6 +62,63 @@ def _overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
     return a[0] < b[1] and b[0] < a[1]
 
 
+# -- interval sets (sorted, disjoint, half-open) ----------------------------
+
+def _interval_add(intervals: List[Tuple[int, int]], new: Tuple[int, int]):
+    """Union ``new`` into a sorted disjoint interval list."""
+    lo, hi = new
+    out: List[Tuple[int, int]] = []
+    for a, b in intervals:
+        if b < lo or a > hi:
+            out.append((a, b))
+        else:
+            lo = min(lo, a)
+            hi = max(hi, b)
+    out.append((lo, hi))
+    out.sort()
+    return out
+
+
+def _interval_sub(intervals: List[Tuple[int, int]], cut: Tuple[int, int]):
+    """Remove ``cut`` from every interval of the list."""
+    lo, hi = cut
+    out: List[Tuple[int, int]] = []
+    for a, b in intervals:
+        if b <= lo or a >= hi:
+            out.append((a, b))
+            continue
+        if a < lo:
+            out.append((a, lo))
+        if b > hi:
+            out.append((hi, b))
+    return out
+
+
+def _interval_intersect(xs, ys):
+    out: List[Tuple[int, int]] = []
+    for a, b in xs:
+        for c, d in ys:
+            lo, hi = max(a, c), min(b, d)
+            if lo < hi:
+                out.append((lo, hi))
+    out.sort()
+    return out
+
+
+def _covers(intervals: List[Tuple[int, int]], ranges) -> bool:
+    """True if every byte of every range lies inside the interval set."""
+    for lo, hi in ranges:
+        pos = lo
+        for a, b in intervals:
+            if a <= pos < b:
+                pos = b
+                if pos >= hi:
+                    break
+        if pos < hi:
+            return False
+    return True
+
+
 class _Fact:
     """One exposed read: the instruction, its entry-relative byte ranges,
     path flags, and whether it originates from an IR-level load."""
@@ -80,15 +137,21 @@ class _Fact:
 
 
 class _State:
-    __slots__ = ("delta", "masked", "pending", "facts")
+    __slots__ = ("delta", "masked", "pending", "facts", "covered")
 
-    def __init__(self, delta=0, masked=False, pending=None, facts=None):
+    def __init__(self, delta=0, masked=False, pending=None, facts=None,
+                 covered=None):
         self.delta = delta
         self.masked = masked
         #: ranges released under cpsid awaiting their checkpoint, with the
         #: facts that were exposed at release time
         self.pending: List[Tuple[Tuple[int, int], _Fact]] = pending or []
         self.facts: Dict[int, _Fact] = facts or {}
+        #: entry-relative byte intervals *definitely* written since the
+        #: region started, on every path (must-analysis).  A read fully
+        #: inside the covered set observes this region's own writes on
+        #: re-execution, so it cannot be the first read of a WAR.
+        self.covered: List[Tuple[int, int]] = covered or []
 
     def copy(self, add_bk=False) -> "_State":
         facts = {
@@ -98,7 +161,10 @@ class _State:
             )
             for key, f in self.facts.items()
         }
-        return _State(self.delta, self.masked, list(self.pending), facts)
+        return _State(
+            self.delta, self.masked, list(self.pending), facts,
+            list(self.covered),
+        )
 
 
 def _merge(into: _State, new: _State, problems: List[str], where: str) -> bool:
@@ -120,6 +186,10 @@ def _merge(into: _State, new: _State, problems: List[str], where: str) -> bool:
         elif old.flags | fact.flags != old.flags:
             old.flags |= fact.flags
             changed = True
+    merged_covered = _interval_intersect(into.covered, new.covered)
+    if merged_covered != into.covered:
+        into.covered = merged_covered
+        changed = True
     return changed
 
 
@@ -130,10 +200,12 @@ class _MIRWARAnalysis:
         aa: Optional[AliasAnalysis],
         calls_are_checkpoints: bool,
         engine: DiagnosticEngine,
+        transparent_callees=None,
     ):
         self.mfn = mfn
         self.aa = aa
         self.calls_are_checkpoints = calls_are_checkpoints
+        self.transparent_callees = transparent_callees or set()
         self.engine = engine
         self.structural: List[str] = []
         self.seen = set()
@@ -249,14 +321,21 @@ class _MIRWARAnalysis:
             if op == "checkpoint":
                 state.facts.clear()
                 state.pending = []
+                state.covered = []
                 continue
             if op == "bl":
-                if self.calls_are_checkpoints:
+                if self.calls_are_checkpoints and (
+                    instr.ops[0] not in self.transparent_callees
+                ):
+                    # The callee checkpoints at entry: region boundary.
                     state.facts.clear()
                     state.pending = []
+                    state.covered = []
                 # A callee operates strictly below the caller's sp, so it
                 # cannot touch the concrete facts tracked here; accesses
                 # through escaped pointers are the IR verifier's job.
+                # Transparent callees additionally never checkpoint, so
+                # the caller's region (facts + coverage) stays open.
                 continue
             if op == "cpsid":
                 state.masked = True
@@ -293,13 +372,28 @@ class _MIRWARAnalysis:
                         if any(_overlap(r, released) for r in ranges):
                             self._report_release(instr, released, fact)
                             state.pending.remove((released, fact))
+                if not is_ir:
+                    # Concrete stack writes are exact (must-writes): the
+                    # bytes are now covered by this region's own output.
+                    for r in ranges:
+                        state.covered = _interval_add(state.covered, r)
 
             read = self._read_of(instr, state.delta)
             if read is not None:
                 ranges, is_ir, what = read
-                old = state.facts.get(id(instr))
-                flags = (old.flags if old else 0) | FW
-                state.facts[id(instr)] = _Fact(instr, ranges, flags, is_ir, what)
+                if _covers(state.covered, ranges):
+                    # Every byte this read can touch was definitely
+                    # written earlier in the same region on every path:
+                    # re-execution reproduces the value, so the read can
+                    # never be the exposed half of a WAR (the dynamic
+                    # checker's write-before-read rule says the same).
+                    pass
+                else:
+                    old = state.facts.get(id(instr))
+                    flags = (old.flags if old else 0) | FW
+                    state.facts[id(instr)] = _Fact(
+                        instr, ranges, flags, is_ir, what
+                    )
 
             if op == "push":
                 state.delta -= 4 * len(instr.regs)
@@ -310,6 +404,9 @@ class _MIRWARAnalysis:
 
     def _release(self, instr: MInstr, state: _State, nbytes: int, report: bool) -> None:
         released = (state.delta, state.delta + nbytes)
+        # Released bytes leave the frame: interrupt stacking or a callee
+        # may clobber them, so they are no longer covered by our writes.
+        state.covered = _interval_sub(state.covered, released)
         exposed = [f for f in state.facts.values() if f.overlaps([released])]
         if not exposed:
             return
@@ -419,20 +516,25 @@ def verify_mfunction_war(
     points_to=None,
     calls_are_checkpoints: bool = True,
     engine: Optional[DiagnosticEngine] = None,
+    transparent_callees=None,
 ) -> DiagnosticEngine:
     """Statically verify one machine function's stack WAR-freedom.
 
     ``ir_function`` (the pre-lowering IR function) enables classification
     of IR-originated accesses; without it any such access conservatively
     may touch every address-taken slot.  Run after ``lower_frame`` so the
-    prologue/epilogues are present.
+    prologue/epilogues are present.  ``transparent_callees`` names
+    functions lowered without any checkpoint: a ``bl`` to one is not a
+    region boundary.
     """
     if engine is None:
         engine = DiagnosticEngine()
     aa = None
     if ir_function is not None:
         aa = AliasAnalysis(ir_function, alias_mode, points_to=points_to)
-    _MIRWARAnalysis(mfn, aa, calls_are_checkpoints, engine).run()
+    _MIRWARAnalysis(
+        mfn, aa, calls_are_checkpoints, engine, transparent_callees
+    ).run()
     return engine
 
 
@@ -442,16 +544,26 @@ def verify_mmodule_war(
     alias_mode: str = PRECISE,
     calls_are_checkpoints: bool = True,
     engine: Optional[DiagnosticEngine] = None,
+    summaries=None,
 ) -> DiagnosticEngine:
-    """Verify every machine function of a lowered module."""
+    """Verify every machine function of a lowered module.
+
+    ``summaries`` (a :class:`~repro.analysis.summaries.SummaryTable`)
+    supplies the whole-program points-to map and the transparent-callee
+    set, matching the relaxed call model the back end lowered under.
+    """
     if engine is None:
         engine = DiagnosticEngine()
     points_to = None
     ir_functions = {}
+    transparent = summaries.transparent_names() if summaries is not None else None
     if ir_module is not None:
-        from ..analysis.pointsto import compute_points_to
+        if summaries is not None:
+            points_to = summaries.arg_points_to
+        else:
+            from ..analysis.pointsto import compute_points_to
 
-        points_to = compute_points_to(ir_module)
+            points_to = compute_points_to(ir_module)
         ir_functions = {f.name: f for f in ir_module.defined_functions()}
     for mfn in mmodule.functions.values():
         verify_mfunction_war(
@@ -461,6 +573,7 @@ def verify_mmodule_war(
             points_to=points_to,
             calls_are_checkpoints=calls_are_checkpoints,
             engine=engine,
+            transparent_callees=transparent,
         )
     return engine
 

@@ -64,10 +64,19 @@ def _reachability(fn: MFunction) -> Dict[str, Set[str]]:
     return reach
 
 
-def _is_barrier(instr: MInstr, calls_are_checkpoints: bool) -> bool:
+def _is_barrier(
+    instr: MInstr, calls_are_checkpoints: bool, barrier_callees=None
+) -> bool:
     if instr.opcode == "checkpoint":
         return True
-    return calls_are_checkpoints and instr.opcode == "bl"
+    if not calls_are_checkpoints or instr.opcode != "bl":
+        return False
+    if barrier_callees is not None and instr.ops[0] not in barrier_callees:
+        # Transparent callee: runs without checkpointing, so the call is
+        # not a barrier for the caller's spill slots (it cannot touch
+        # them either — they live below the caller's frame pointer).
+        return False
+    return True
 
 
 def _segment_has_barrier(instrs, calls_are_checkpoints: bool) -> bool:
@@ -81,7 +90,11 @@ class SpillWAR:
     kind: str  # 'forward' | 'backward'
 
 
-def find_spill_wars(fn: MFunction, calls_are_checkpoints: bool = True) -> List[SpillWAR]:
+def find_spill_wars(
+    fn: MFunction,
+    calls_are_checkpoints: bool = True,
+    barrier_callees: Optional[Set[str]] = None,
+) -> List[SpillWAR]:
     """The unresolved spill WARs of ``fn``, pruned to the Pareto frontier
     (dominated pairs are implied by the kept ones, for both detection and
     placement).
@@ -89,6 +102,9 @@ def find_spill_wars(fn: MFunction, calls_are_checkpoints: bool = True) -> List[S
     A WAR counts as resolved when an existing barrier (checkpoint, or a
     call when entry checkpoints are in force) occupies one of its
     candidate positions — i.e. it lies on every load->store path.
+    ``barrier_callees`` restricts which calls count: only ``bl`` to a
+    name in the set is a barrier (calls to transparent callees do not
+    checkpoint).
     """
     accesses = _slot_accesses(fn)
     by_slot: Dict[int, Tuple[List[SlotAccess], List[SlotAccess]]] = {}
@@ -108,7 +124,7 @@ def find_spill_wars(fn: MFunction, calls_are_checkpoints: bool = True) -> List[S
         (block.name, idx)
         for block in fn.blocks
         for idx, instr in enumerate(block.instructions)
-        if _is_barrier(instr, calls_are_checkpoints)
+        if _is_barrier(instr, calls_are_checkpoints, barrier_callees)
     }
     articulation_cache: Dict[Tuple[int, int], List] = {}
     wars: List[SpillWAR] = []
@@ -198,12 +214,15 @@ def _insertable_end(block: MBlock) -> int:
 
 
 def insert_spill_checkpoints(
-    fn: MFunction, mode: str = "hitting-set", calls_are_checkpoints: bool = True
+    fn: MFunction,
+    mode: str = "hitting-set",
+    calls_are_checkpoints: bool = True,
+    barrier_callees: Optional[Set[str]] = None,
 ) -> int:
     """Break all spill-slot WARs of ``fn``; returns checkpoints added."""
     if mode not in MODES:
         raise ValueError(f"unknown spill checkpoint mode {mode!r}")
-    wars = find_spill_wars(fn, calls_are_checkpoints)
+    wars = find_spill_wars(fn, calls_are_checkpoints, barrier_callees)
     if not wars:
         return 0
     if mode == "basic":

@@ -24,22 +24,37 @@ from ..ir.instructions import CKPT_MIDDLE_END, Checkpoint
 from .hitting_set import greedy_hitting_set
 
 
-def insert_checkpoints(module, alias_mode: str = "precise") -> int:
+def insert_checkpoints(module, alias_mode: str = "precise", summaries=None) -> int:
     """Break every WAR violation in every function; returns the number of
-    checkpoints inserted."""
+    checkpoints inserted.
+
+    With ``summaries`` (a :class:`~repro.analysis.summaries.SummaryTable`)
+    the relaxed call model applies: transparent callees are not barriers,
+    and their ref/mod sets participate as WAR endpoints, so a checkpoint
+    in the caller can break a WAR that spans the call.
+    """
     from ..analysis.pointsto import compute_points_to
 
-    points_to = compute_points_to(module)
+    if summaries is not None:
+        points_to = summaries.arg_points_to
+    else:
+        points_to = compute_points_to(module)
     total = 0
     for function in module.defined_functions():
-        total += insert_function_checkpoints(function, alias_mode, points_to)
+        total += insert_function_checkpoints(
+            function, alias_mode, points_to, summaries
+        )
     return total
 
 
-def insert_function_checkpoints(function, alias_mode: str = "precise", points_to=None) -> int:
+def insert_function_checkpoints(
+    function, alias_mode: str = "precise", points_to=None, summaries=None
+) -> int:
     aa = AliasAnalysis(function, alias_mode, points_to=points_to)
     li = loop_info(function)
-    wars = find_wars(function, aa, li, calls_are_checkpoints=True)
+    wars = find_wars(
+        function, aa, li, calls_are_checkpoints=True, summaries=summaries
+    )
     if not wars:
         return 0
     wars = prune_dominated_wars(wars)

@@ -82,13 +82,27 @@ def lint_module(
     did) and every static verifier, collecting all diagnostics."""
     config = environment(env)
     engine = DiagnosticEngine()
+    summaries = None
     if run_middle:
-        run_middle_end(module, config)
+        summaries = run_middle_end(module, config)
+    elif config.call_summaries and config.instrument:
+        # The caller instrumented the module itself; recompute the table
+        # on the post-insertion IR (transparency is stable across
+        # insertion, so this matches what the inserter used).
+        from ..analysis.summaries import compute_summaries
+
+        summaries = compute_summaries(module, alias_mode=config.alias_mode)
+    if summaries is not None:
+        # Surface the precision-loss warnings alongside the WAR findings.
+        from ..analysis.pointsto import report_top_causes
+
+        report_top_causes(summaries.causes, engine)
     verify_module_war(
         module,
         alias_mode=config.alias_mode,
         calls_are_checkpoints=config.instrument,
         engine=engine,
+        summaries=summaries,
     )
     mmodule = lower_module(
         module,
@@ -97,6 +111,9 @@ def lint_module(
         ),
         epilogue_style=config.epilogue_style,
         entry_checkpoints=config.instrument,
+        transparent=(
+            summaries.transparent_names() if summaries is not None else None
+        ),
     )
     for mfn in mmodule.functions.values():
         try:
@@ -113,6 +130,7 @@ def lint_module(
         alias_mode=config.alias_mode,
         calls_are_checkpoints=config.instrument,
         engine=engine,
+        summaries=summaries,
     )
     return LintResult(name or module.name, config.name, engine)
 

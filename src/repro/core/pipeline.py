@@ -15,6 +15,9 @@ One call takes mini-C sources to an executable image through a named
 ``wario``                 complete WARio (both clusterers, hitting-set spill,
                           epilog optimizer)
 ``wario-expander``        WARio + the Expander inliner
+``wario-summaries``       WARio + interprocedural mod/ref summaries
+                          (cross-call checkpoint elision)
+``ratchet-summaries``     Ratchet's alias analysis + the relaxed call model
 ========================  ==========================================================
 """
 
@@ -57,6 +60,10 @@ class EnvironmentConfig:
     #: extension (paper §7): cache data generated and used within one
     #: idempotent region in registers (store-to-load forwarding)
     volatile_cache: bool = False
+    #: relaxed call model: compute interprocedural mod/ref summaries
+    #: (:mod:`repro.analysis.summaries`) and elide entry/epilogue
+    #: checkpoints for transparent (summarised WAR-free) callees
+    call_summaries: bool = False
 
 
 ENVIRONMENTS: Dict[str, EnvironmentConfig] = {
@@ -97,6 +104,23 @@ ENVIRONMENTS: Dict[str, EnvironmentConfig] = {
         spill_checkpoint_mode="hitting-set",
         epilogue_style="wario",
     ),
+    "wario-summaries": EnvironmentConfig(
+        # WARio + interprocedural mod/ref summaries: transparent callees
+        # keep no entry/epilogue checkpoints and stop acting as barriers.
+        "wario-summaries",
+        loop_write_clusterer=True,
+        write_clusterer=True,
+        spill_checkpoint_mode="hitting-set",
+        epilogue_style="wario",
+        call_summaries=True,
+    ),
+    "ratchet-summaries": EnvironmentConfig(
+        # Ratchet's conservative alias analysis, but with the relaxed
+        # call model: isolates the summary effect from PDG precision.
+        "ratchet-summaries",
+        alias_mode=CONSERVATIVE,
+        call_summaries=True,
+    ),
 }
 
 
@@ -114,7 +138,7 @@ def environment(name_or_config: Union[str, EnvironmentConfig]) -> EnvironmentCon
 
 def run_middle_end(
     module: Module, config: EnvironmentConfig, verify_static: bool = False
-) -> None:
+):
     """WARio's middle end in the Figure 2 order: always-inline + -O3,
     Loop Write Clusterer, Expander, Write Clusterer, PDG Checkpoint
     Inserter.
@@ -123,6 +147,10 @@ def run_middle_end(
     the independent region-dataflow verifier
     (:mod:`repro.analysis.static_war`) and raises :class:`StaticWARError`
     if any region still contains a load-before-store pair.
+
+    Returns the :class:`~repro.analysis.summaries.SummaryTable` when
+    ``config.call_summaries`` is set (the back end needs the transparent
+    set), else ``None``.
     """
     optimize_module(module)
     if config.volatile_cache:
@@ -141,8 +169,15 @@ def run_middle_end(
         run_dce(module)
     if config.write_clusterer:
         cluster_writes(module, alias_mode=config.alias_mode)
+    summaries = None
     if config.instrument:
-        insert_checkpoints(module, alias_mode=config.alias_mode)
+        if config.call_summaries:
+            from ..analysis.summaries import compute_summaries
+
+            summaries = compute_summaries(module, alias_mode=config.alias_mode)
+        insert_checkpoints(
+            module, alias_mode=config.alias_mode, summaries=summaries
+        )
         if config.max_region_cycles is not None:
             from .region_bound import bound_region_sizes
 
@@ -153,9 +188,11 @@ def run_middle_end(
             module,
             alias_mode=config.alias_mode,
             calls_are_checkpoints=config.instrument,
+            summaries=summaries,
         )
         if engine.has_errors:
             raise StaticWARError(engine)
+    return summaries
 
 
 def compile_ir(
@@ -172,13 +209,17 @@ def compile_ir(
     :class:`StaticWARError` / ``MIRVerificationError``.
     """
     config = environment(env)
-    run_middle_end(module, config, verify_static=verify_static)
+    summaries = run_middle_end(module, config, verify_static=verify_static)
+    transparent = (
+        summaries.transparent_names() if summaries is not None else None
+    )
     mmodule = lower_module(
         module,
         spill_checkpoint_mode=config.spill_checkpoint_mode if config.instrument else None,
         epilogue_style=config.epilogue_style,
         entry_checkpoints=config.instrument,
         verify=verify_static,
+        transparent=transparent,
     )
     if verify_static:
         engine = verify_mmodule_war(
@@ -186,6 +227,7 @@ def compile_ir(
             module,
             alias_mode=config.alias_mode,
             calls_are_checkpoints=config.instrument,
+            summaries=summaries,
         )
         if engine.has_errors:
             raise StaticWARError(engine)

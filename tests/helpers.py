@@ -67,6 +67,8 @@ ALL_ENVIRONMENTS = (
     "loop-write-clusterer",
     "wario",
     "wario-expander",
+    "wario-summaries",
+    "ratchet-summaries",
 )
 
 INSTRUMENTED = tuple(e for e in ALL_ENVIRONMENTS if e != "plain")

@@ -25,7 +25,7 @@ class TestEnvironments:
         assert set(ENVIRONMENTS) == {
             "plain", "ratchet", "r-pdg", "epilog-optimizer",
             "write-clusterer", "loop-write-clusterer", "wario",
-            "wario-expander",
+            "wario-expander", "wario-summaries", "ratchet-summaries",
         }
 
     def test_environment_lookup(self):
