@@ -1,15 +1,19 @@
 """Shared fixtures for the evaluation benchmarks.
 
-A single session-scoped :class:`ExperimentRunner` caches every
-(benchmark x environment) execution, so the figure/table benches share
-their measurement grid exactly as the paper's figures share runs.
+A single session-scoped :class:`ExperimentRunner` prefetches the full
+experiment grid (in parallel, honouring ``REPRO_JOBS``) and caches every
+(benchmark x environment x unroll x power) execution, so the figure and
+table benches share their measurement grid exactly as the paper's
+figures share runs.
 """
 
 import pytest
 
-from repro.eval import ExperimentRunner
+from repro.eval import ExperimentRunner, cells_for
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner()
+    r = ExperimentRunner()
+    r.prefetch(cells_for())
+    return r

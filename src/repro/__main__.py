@@ -8,6 +8,8 @@ Usage::
     python -m repro lint program.c --env wario
     python -m repro lint --benchmark all --env wario-expander --format json
     python -m repro analyze --benchmark all --env wario-summaries
+    python -m repro cache stats
+    python -m repro bench --quick
     python -m repro envs
 
 ``compile`` prints (or writes) a disassembly listing plus size/static
@@ -15,7 +17,9 @@ statistics; ``run`` executes on the emulator and reports execution
 statistics; ``lint`` statically certifies WAR-freedom (exit 0 clean,
 1 diagnostics of severity error, 2 compile failure); ``analyze`` dumps
 the interprocedural points-to sets, mod/ref summaries and every
-precision-loss cause; ``envs`` lists the available software
+precision-loss cause; ``cache`` inspects or clears the content-addressed
+compile cache; ``bench`` measures the toolchain's own performance (see
+``docs/PERFORMANCE.md``); ``envs`` lists the available software
 environments.
 """
 
@@ -96,6 +100,21 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("--env", default="wario-summaries")
     analyze_p.add_argument("--format", choices=("text", "json"),
                           default="text")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed compile cache"
+    )
+    cache_p.add_argument("action", choices=("stats", "clear"),
+                         help="'stats' prints entry counts and staleness; "
+                              "'clear' removes every entry")
+
+    bench_p = sub.add_parser(
+        "bench", help="measure toolchain performance, write BENCH_<rev>.json"
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small CI-sized run (one benchmark, fig4 only)")
+    bench_p.add_argument("-o", "--output", default=None,
+                         help="report path (default: BENCH_<git rev>.json)")
 
     sub.add_parser("envs", help="list the software environments")
     return parser
@@ -359,6 +378,27 @@ def _cmd_envs(_args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .cache import get_cache
+
+    cache = get_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    print(cache.report().render())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import render_report, run_bench
+
+    path = run_bench(quick=args.quick, output=args.output)
+    print(render_report(path))
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "compile":
@@ -369,6 +409,10 @@ def main(argv=None) -> int:
         return _cmd_lint(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_envs(args)
 
 

@@ -34,10 +34,24 @@ class Program:
     text_size: int = 0
     sizes: List[int] = field(default_factory=list)
     function_of_index: List[str] = field(default_factory=list)
+    #: content-address of this program in :mod:`repro.cache` (set by
+    #: ``iclang``); empty for programs built by hand from MIR.
+    cache_key: str = ""
 
     @property
     def entry(self) -> int:
         return self.func_entry["main"]
+
+    # The emulator attaches its predecoded instruction stream to the
+    # program (``_decoded_cache``) so repeated Machine constructions skip
+    # re-decoding.  It holds function objects — never pickle it.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_decoded_cache", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 def encode_size(instr: MInstr) -> int:

@@ -106,6 +106,21 @@ class MInstr:
             raise TypeError(f"unknown MInstr attrs: {sorted(attrs)}")
         self.parent: Optional["MBlock"] = None
 
+    # -- pickling ---------------------------------------------------------
+    # ``parent`` and ``ir_mem`` are back-references into the machine/IR
+    # graphs that only the in-process verifiers use; serialising them
+    # drags entire modules into every pickled Program (≈10x the payload)
+    # and risks deep recursion.  The compile cache and the parallel
+    # evaluation workers therefore ship instructions without them.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["parent"] = None
+        state["ir_mem"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     # -- classification helpers ------------------------------------------
     @property
     def is_terminator(self) -> bool:

@@ -1,0 +1,164 @@
+"""``python -m repro bench`` — the toolchain's own performance harness.
+
+Measures the three costs the engineering work targets and emits one JSON
+blob (``BENCH_<rev>.json``) per revision so regressions show up as a
+diff:
+
+* **compile** — seconds to compile each benchmark per environment, with
+  every cache layer disabled (the honest front-to-back pipeline cost);
+* **emulation** — emulated instructions per second of the predecoded
+  interpreter on each benchmark (continuous power, WAR checking off);
+* **eval** — wall-clock seconds of a full figure regeneration in a
+  subprocess, cold (empty cache directory) then warm (same directory),
+  plus the resulting speedup.
+
+``--quick`` shrinks every axis for CI smoke runs (one benchmark, two
+environments, Figure 4 only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from .benchsuite import BENCHMARKS, clear_program_memo, compile_benchmark
+from .core import iclang
+from .emulator import Machine
+from .eval.runner import default_jobs
+
+FULL_COMPILE_ENVS = ("plain", "ratchet", "wario", "wario-expander")
+QUICK_COMPILE_ENVS = ("plain", "wario")
+FULL_EVAL_EXPERIMENTS: List[str] = []          # empty = everything
+QUICK_EVAL_EXPERIMENTS = ["fig4"]
+
+
+def _revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def bench_compile(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Seconds per (environment, benchmark) compile, all caches off."""
+    envs = QUICK_COMPILE_ENVS if quick else FULL_COMPILE_ENVS
+    benches = ["crc"] if quick else list(BENCHMARKS)
+    out: Dict[str, Dict[str, float]] = {}
+    for env in envs:
+        out[env] = {}
+        for name in benches:
+            bench = BENCHMARKS[name]
+            start = time.perf_counter()
+            iclang(bench.source, env, name=name, cache=False)
+            out[env][name] = round(time.perf_counter() - start, 4)
+    return out
+
+
+def bench_emulation(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Emulated instructions per second per benchmark (wario build)."""
+    benches = ["crc"] if quick else list(BENCHMARKS)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in benches:
+        bench = BENCHMARKS[name]
+        program = compile_benchmark(bench, "wario")
+        # warm-up run decodes the program and faults in every code path
+        Machine(program, war_check=False).run(
+            max_instructions=bench.max_instructions
+        )
+        machine = Machine(program, war_check=False)
+        start = time.perf_counter()
+        stats = machine.run(max_instructions=bench.max_instructions)
+        elapsed = time.perf_counter() - start
+        out[name] = {
+            "instructions": stats.instructions,
+            "seconds": round(elapsed, 4),
+            "instrs_per_sec": round(stats.instructions / elapsed),
+        }
+    return out
+
+
+def bench_eval(quick: bool = False) -> Dict[str, object]:
+    """Cold vs warm full-evaluation wall time, in subprocesses sharing a
+    fresh cache directory (the cross-process reuse the cache exists for)."""
+    experiments = QUICK_EVAL_EXPERIMENTS if quick else FULL_EVAL_EXPERIMENTS
+    argv = [sys.executable, "-m", "repro.eval", *experiments, "--jobs", "1"]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        env = dict(os.environ)
+        env["REPRO_CACHE"] = "1"
+        env["REPRO_CACHE_DIR"] = cache_dir
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        timings = []
+        for _ in ("cold", "warm"):
+            start = time.perf_counter()
+            proc = subprocess.run(argv, env=env, capture_output=True, text=True)
+            timings.append(time.perf_counter() - start)
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"evaluation subprocess failed:\n{proc.stderr[-2000:]}"
+                )
+    cold, warm = timings
+    return {
+        "experiments": experiments or ["all"],
+        "cold_seconds": round(cold, 2),
+        "warm_seconds": round(warm, 2),
+        "speedup": round(cold / warm, 2),
+    }
+
+
+def run_bench(quick: bool = False, output: Optional[str] = None) -> str:
+    """Run every measurement and write the JSON report.  Returns the
+    output path."""
+    clear_program_memo()
+    report = {
+        "revision": _revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "default_jobs": default_jobs(),
+        "compile": bench_compile(quick=quick),
+        "emulation": bench_emulation(quick=quick),
+        "eval": bench_eval(quick=quick),
+    }
+    path = output or f"BENCH_{report['revision']}.json"
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def render_report(path: str) -> str:
+    with open(path) as handle:
+        report = json.load(handle)
+    lines = [f"revision {report['revision']} ({report['timestamp']}Z)"]
+    for env, per_bench in report["compile"].items():
+        total = sum(per_bench.values())
+        lines.append(f"compile {env:<16} {total:7.2f}s total")
+    for name, row in report["emulation"].items():
+        lines.append(
+            f"emulate {name:<16} {row['instrs_per_sec']:>12,} instrs/s"
+        )
+    ev = report["eval"]
+    lines.append(
+        f"eval ({'+'.join(ev['experiments'])}): cold {ev['cold_seconds']}s, "
+        f"warm {ev['warm_seconds']}s ({ev['speedup']}x)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "bench_compile", "bench_emulation", "bench_eval",
+    "render_report", "run_bench",
+]

@@ -14,6 +14,7 @@ from .common import (
     Benchmark,
     Output,
     VerificationError,
+    clear_program_memo,
     compile_benchmark,
     run_benchmark,
     verify_outputs,
@@ -55,5 +56,6 @@ def get_benchmark(name: str) -> Benchmark:
 __all__ = [
     "BENCHMARKS", "PAPER_NAMES", "get_benchmark",
     "Benchmark", "Output", "VerificationError",
-    "compile_benchmark", "run_benchmark", "verify_outputs",
+    "clear_program_memo", "compile_benchmark", "run_benchmark",
+    "verify_outputs",
 ]

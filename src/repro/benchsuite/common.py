@@ -42,14 +42,27 @@ class VerificationError(AssertionError):
 _PROGRAM_CACHE: Dict[Tuple[str, str, int], Program] = {}
 
 
+def clear_program_memo() -> None:
+    """Drop the in-process compiled-program memo (benchmarking aid: the
+    ``repro bench`` cold runs must not inherit warm programs)."""
+    _PROGRAM_CACHE.clear()
+
+
 def compile_benchmark(
-    bench: Benchmark, env: str, unroll_factor: Optional[int] = None
+    bench: Benchmark, env: str, unroll_factor: Optional[int] = None, cache=None
 ) -> Program:
-    """Compile (with caching — programs are immutable across runs)."""
+    """Compile (with caching — programs are immutable across runs).
+
+    Two layers: an in-process memo keyed on (benchmark, environment,
+    unroll), and — through ``iclang`` — the content-addressed on-disk
+    :mod:`repro.cache` shared across processes.  ``cache`` follows the
+    :func:`repro.cache.resolve_cache` convention.
+    """
     key = (bench.name, env, unroll_factor or 0)
     program = _PROGRAM_CACHE.get(key)
     if program is None:
-        program = iclang(bench.source, env, unroll_factor=unroll_factor, name=bench.name)
+        program = iclang(bench.source, env, unroll_factor=unroll_factor,
+                         name=bench.name, cache=cache)
         _PROGRAM_CACHE[key] = program
     return program
 
@@ -62,12 +75,18 @@ def run_benchmark(
     war_check: bool = True,
     cost_model=None,
     verify: bool = True,
+    program: Optional[Program] = None,
 ):
     """Compile, execute, and (optionally) verify one benchmark run.
 
+    Pass ``program`` to reuse an already compiled image (the evaluation
+    runner compiles each grid cell exactly once and feeds the same
+    program to both emulation and the code-size statistics).
+
     Returns ``(machine, stats)``.
     """
-    program = compile_benchmark(bench, env, unroll_factor)
+    if program is None:
+        program = compile_benchmark(bench, env, unroll_factor)
     machine = Machine(program, cost_model=cost_model, war_check=war_check)
     stats = machine.run(power=power, max_instructions=bench.max_instructions)
     if verify:

@@ -139,13 +139,33 @@ def lint_sources(
     sources: Union[str, List[str]],
     env: Union[str, EnvironmentConfig] = "wario",
     name: str = "program",
+    cache=None,
 ) -> LintResult:
-    """Front-end + middle-end + all static verifiers for mini-C sources."""
+    """Front-end + middle-end + all static verifiers for mini-C sources.
+
+    Verdicts are content-addressed like compiles: the same sources under
+    the same environment and toolchain always produce the same
+    diagnostics, so repeated lint runs (CI matrices, pre-commit hooks)
+    hit the :mod:`repro.cache` instead of re-verifying.  ``cache``
+    follows the :func:`repro.cache.resolve_cache` convention.
+    """
+    from ..cache import lint_key, resolve_cache
+
     if isinstance(sources, str):
         sources = [sources]
+    config = environment(env)
+    key = lint_key(sources, config, name=name)
+    store = resolve_cache(cache)
+    if store is not None:
+        result = store.get(key)
+        if result is not None:
+            return result
     module = compile_sources(sources, name)
     verify_module(module)
-    return lint_module(module, env, name=name)
+    result = lint_module(module, config, name=name)
+    if store is not None:
+        store.put(key, result)
+    return result
 
 
 def lint_benchmarks(

@@ -240,6 +240,7 @@ def iclang(
     unroll_factor: Optional[int] = None,
     name: str = "program",
     verify_static: bool = False,
+    cache=None,
 ) -> Program:
     """The drop-in compilation driver: mini-C source(s) -> executable.
 
@@ -247,12 +248,31 @@ def iclang(
     default: 8, found experimentally in §5.2.4).  ``verify_static``
     additionally certifies WAR-freedom at both IR and machine-IR level
     (see :func:`compile_ir`).
+
+    Compilation is content-addressed: the result is looked up in (and
+    stored to) the on-disk :mod:`repro.cache` keyed on the sources, the
+    resolved environment config, and the toolchain fingerprint.  Pass
+    ``cache=False`` to force a fresh compile, or a
+    :class:`~repro.cache.CompileCache` instance to use a specific store
+    (``None`` uses the process-wide default, honouring ``REPRO_CACHE``).
     """
+    from ..cache import compile_key, resolve_cache
+
     config = environment(env)
     if unroll_factor is not None:
         config = replace(config, unroll_factor=unroll_factor)
     if isinstance(sources, str):
         sources = [sources]
+    key = compile_key(sources, config, name=name, verify_static=verify_static)
+    store = resolve_cache(cache)
+    if store is not None:
+        program = store.get(key)
+        if program is not None:
+            return program
     module = compile_sources(sources, name)
     verify_module(module)
-    return compile_ir(module, config, verify_static=verify_static)
+    program = compile_ir(module, config, verify_static=verify_static)
+    program.cache_key = key
+    if store is not None:
+        store.put(key, program)
+    return program

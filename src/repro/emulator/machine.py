@@ -13,7 +13,8 @@ checker), and verifies the absence of WAR violations on every access.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import struct
+from typing import Dict, List, Optional, Tuple
 
 from ..backend.encoder import HALT_ADDRESS, Program, STACK_TOP
 from .costs import DEFAULT_COSTS, CostModel
@@ -22,6 +23,11 @@ from .stats import ExecutionStats
 from .warcheck import WARChecker
 
 M32 = 0xFFFFFFFF
+
+_U32 = struct.Struct("<I").unpack_from
+_P32 = struct.Struct("<I").pack_into
+_U16 = struct.Struct("<H").unpack_from
+_P16 = struct.Struct("<H").pack_into
 
 
 class EmulationError(Exception):
@@ -64,6 +70,183 @@ _ALU = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Predecoded instruction stream (the emulator fast path)
+#
+# ``Machine.run`` dominates every evaluation: each emulated instruction
+# used to pay for attribute walks (``instr.opcode``, ``instr.ops``),
+# string-compare dispatch, a ``CostModel.cost_of`` call, and
+# ``isinstance`` checks on every operand.  All of that is resolvable
+# once per program: ``_decode_program`` turns each ``MInstr`` into a
+# flat tuple ``(kind, cost, ...)`` with
+#
+# * an integer opcode *kind* specialised on operand shapes (register vs
+#   immediate, base register vs stack slot),
+# * the cycle cost resolved through the cost model (branch kinds also
+#   carry the taken cost including the pipeline refill),
+# * operands reduced to physical register names, pre-masked immediates,
+#   pre-folded stack offsets, resolved condition-code predicates, and
+#   branch targets biased by -1 (the main loop always increments pc).
+#
+# The decoded stream is cached on the Program keyed by the cost model,
+# so repeated Machine constructions over one program decode once.
+# ---------------------------------------------------------------------------
+
+K_LDR4, K_LDR1, K_LDR2 = 0, 1, 2
+K_STR4_R, K_STR1_R, K_STR2_R = 3, 4, 5
+K_STR4_I, K_STR1_I, K_STR2_I = 6, 7, 8
+K_ADD_RR, K_ADD_RI, K_SUB_RR, K_SUB_RI = 9, 10, 11, 12
+K_ALU_RR, K_ALU_RI, K_ALU_IR, K_ALU_II = 13, 14, 15, 16
+K_CMP_RR, K_CMP_RI, K_CMP_IR, K_CMP_II = 17, 18, 19, 20
+K_BCC, K_B = 21, 22
+K_MOV_I, K_MOV_R = 23, 24
+K_BL, K_BX_LR = 25, 26
+K_PUSH, K_POP = 27, 28
+K_SHIFT, K_DIV = 29, 30
+K_CMOV_R, K_CMOV_I = 31, 32
+K_LEA, K_ADDSP = 33, 34
+K_EXT = 35
+K_CKPT = 36
+K_CPSID, K_CPSIE, K_NOP = 37, 38, 39
+K_BAD = 40
+
+_LOAD_KINDS = {"ldr": K_LDR4, "ldrb": K_LDR1, "ldrh": K_LDR2}
+_STORE_KINDS_R = {"str": K_STR4_R, "strb": K_STR1_R, "strh": K_STR2_R}
+_STORE_KINDS_I = {"str": K_STR4_I, "strb": K_STR1_I, "strh": K_STR2_I}
+_SHIFT_IDS = {"lsl": 0, "lsr": 1, "asr": 2}
+_EXT_IDS = {"sxtb": 0, "uxtb": 1, "sxth": 2, "uxth": 3}
+
+
+def _operand(op):
+    """(is_immediate, register-name-or-masked-immediate) for a value op."""
+    if isinstance(op, int):
+        return True, op & M32
+    return False, op.phys
+
+
+def _base_and_offset(base, offset):
+    """Fold an addressing operand into (register name, byte offset)."""
+    if isinstance(base, str):  # 'sp'
+        return base, offset
+    if hasattr(base, "offset"):  # StackSlot
+        return "sp", base.offset + offset
+    return base.phys, offset  # VReg
+
+
+def _decode_program(program: Program, costs: CostModel) -> List[tuple]:
+    decoded = []
+    refill = costs.pipeline_refill
+    for instr in program.instrs:
+        op = instr.opcode
+        try:
+            cost = costs.cost_of(instr)
+        except KeyError:
+            # Unknown opcode: keep the reference behaviour of failing
+            # only if the instruction is actually executed.
+            decoded.append((K_BAD, 0, instr))
+            continue
+        ops = instr.ops
+        if op in ("ldr", "ldrb", "ldrh"):
+            base, off = _base_and_offset(ops[0], ops[1])
+            entry = (_LOAD_KINDS[op], cost, instr.dst.phys, base, off)
+        elif op in ("str", "strb", "strh"):
+            imm, src = _operand(ops[0])
+            base, off = _base_and_offset(ops[1], ops[2])
+            kinds = _STORE_KINDS_I if imm else _STORE_KINDS_R
+            entry = (kinds[op], cost, src, base, off)
+        elif op in ("add", "sub"):
+            a_imm, a = _operand(ops[0])
+            b_imm, b = _operand(ops[1])
+            if not a_imm:
+                if b_imm:
+                    kind = K_ADD_RI if op == "add" else K_SUB_RI
+                else:
+                    kind = K_ADD_RR if op == "add" else K_SUB_RR
+                entry = (kind, cost, instr.dst.phys, a, b)
+            else:  # immediate left operand: fall back to the generic form
+                kind = K_ALU_II if b_imm else K_ALU_IR
+                entry = (kind, cost, instr.dst.phys, a, b, _ALU[op])
+        elif op in ("mul", "and", "orr", "eor"):
+            a_imm, a = _operand(ops[0])
+            b_imm, b = _operand(ops[1])
+            kind = {
+                (False, False): K_ALU_RR, (False, True): K_ALU_RI,
+                (True, False): K_ALU_IR, (True, True): K_ALU_II,
+            }[(a_imm, b_imm)]
+            entry = (kind, cost, instr.dst.phys, a, b, _ALU[op])
+        elif op == "cmp":
+            a_imm, a = _operand(ops[0])
+            b_imm, b = _operand(ops[1])
+            kind = {
+                (False, False): K_CMP_RR, (False, True): K_CMP_RI,
+                (True, False): K_CMP_IR, (True, True): K_CMP_II,
+            }[(a_imm, b_imm)]
+            entry = (kind, cost, a, b)
+        elif op == "bcc":
+            entry = (K_BCC, cost, _COND[instr.cond], ops[0] - 1, cost + refill)
+        elif op == "b":
+            entry = (K_B, cost, ops[0] - 1, cost + refill)
+        elif op == "mov":
+            imm, src = _operand(ops[0])
+            entry = (K_MOV_I if imm else K_MOV_R, cost, instr.dst.phys, src)
+        elif op == "adr":
+            # the encoder resolved the address to an absolute immediate
+            entry = (K_MOV_I, cost, instr.dst.phys, ops[0] & M32)
+        elif op == "bl":
+            callee = program.function_of_index[ops[0]]
+            entry = (K_BL, cost, ops[0] - 1, callee, cost + refill)
+        elif op == "bx_lr":
+            entry = (K_BX_LR, cost, cost + refill)
+        elif op == "push":
+            entry = (K_PUSH, cost, tuple(instr.regs))
+        elif op == "pop":
+            entry = (K_POP, cost, tuple(instr.regs))
+        elif op in ("lsl", "lsr", "asr"):
+            a_imm, a = _operand(ops[0])
+            b_imm, b = _operand(ops[1])
+            entry = (K_SHIFT, cost, _SHIFT_IDS[op], a_imm, a, b_imm, b,
+                     instr.dst.phys)
+        elif op in ("udiv", "sdiv"):
+            a_imm, a = _operand(ops[0])
+            b_imm, b = _operand(ops[1])
+            entry = (K_DIV, cost, op == "sdiv", a_imm, a, b_imm, b,
+                     instr.dst.phys)
+        elif op == "cmov":
+            imm, src = _operand(ops[0])
+            entry = (K_CMOV_I if imm else K_CMOV_R, cost, _COND[instr.cond],
+                     instr.dst.phys, src)
+        elif op == "lea":
+            entry = (K_LEA, cost, instr.dst.phys, ops[0].offset)
+        elif op == "addsp":
+            entry = (K_ADDSP, cost, ops[0])
+        elif op == "subsp":
+            entry = (K_ADDSP, cost, -ops[0])
+        elif op in ("sxtb", "uxtb", "sxth", "uxth"):
+            imm, src = _operand(ops[0])
+            entry = (K_EXT, cost, _EXT_IDS[op], instr.dst.phys, imm, src)
+        elif op == "checkpoint":
+            entry = (K_CKPT, cost, instr.cause)
+        elif op == "cpsid":
+            entry = (K_CPSID, cost)
+        elif op == "cpsie":
+            entry = (K_CPSIE, cost)
+        elif op == "nop":
+            entry = (K_NOP, cost)
+        else:
+            entry = (K_BAD, cost, instr)
+        decoded.append(entry)
+    return decoded
+
+
+def _decoded_for(program: Program, costs: CostModel) -> List[tuple]:
+    cached = getattr(program, "_decoded_cache", None)
+    if cached is not None and cached[0] is costs:
+        return cached[1]
+    decoded = _decode_program(program, costs)
+    program._decoded_cache = (costs, decoded)
+    return decoded
+
+
 class Machine:
     """One emulated device executing one program."""
 
@@ -74,9 +257,15 @@ class Machine:
         war_check: bool = True,
         interrupt_interval: Optional[int] = None,
         jit_checkpoint_threshold: Optional[int] = None,
+        fast_interp: bool = True,
     ):
         self.program = program
         self.costs = cost_model or DEFAULT_COSTS
+        #: ``fast_interp=False`` selects the reference interpreter (the
+        #: original per-MInstr dispatch loop); the parity tests compare
+        #: its ExecutionStats against the predecoded fast path.
+        self.fast_interp = fast_interp
+        self._decoded = _decoded_for(program, self.costs) if fast_interp else None
         self.war = WARChecker() if war_check else None
         self.interrupt_interval = interrupt_interval
         #: Just-In-Time checkpointing (paper §6): a Hibernus-style
@@ -195,6 +384,408 @@ class Machine:
         self,
         power: Optional[PowerSupply] = None,
         max_instructions: int = 100_000_000,
+    ) -> ExecutionStats:
+        if self.fast_interp:
+            return self._run_decoded(power, max_instructions)
+        return self._run_reference(power, max_instructions)
+
+    def _run_decoded(
+        self,
+        power: Optional[PowerSupply],
+        max_instructions: int,
+    ) -> ExecutionStats:
+        """The fast path: interpret the predecoded stream.
+
+        Byte-for-byte equivalent to :meth:`_run_reference` in every
+        observable (``ExecutionStats``, memory, registers, WAR checking,
+        interrupts, JIT checkpoints); hot state lives in locals and is
+        synchronised with the instance on every slow-path event.
+        """
+        decoded = self._decoded
+        costs = self.costs
+        stats = self.stats
+        regs = self.regs
+        memory = self.memory
+        war = self.war
+        cc = stats.call_counts
+
+        pc = self.pc
+        cmp_a, cmp_b = self.last_cmp
+        cycles = stats.cycles
+        icount = stats.instructions
+        region_cycles = self.region_cycles
+        halt_sentinel = self._halt_sentinel
+        jit_threshold = self.jit_checkpoint_threshold
+        jit_enabled = jit_threshold is not None
+        jit_fired = self._jit_fired
+        interrupt_interval = self.interrupt_interval
+        next_interrupt = self._next_interrupt
+        checkpoint_cycles = costs.checkpoint_cycles
+
+        on_iter = None
+        budget = None
+        if power is not None and not power.is_continuous:
+            on_iter = power.on_durations()
+            budget = next(on_iter)
+            if jit_enabled and budget <= jit_threshold:
+                jit_fired = True  # collapsed before the comparator
+                self._jit_fired = True
+        period_used = 0
+
+        addr = 0
+        try:
+            while True:
+                if icount >= max_instructions:
+                    stats.instructions = icount
+                    stats.cycles = cycles
+                    self.pc = pc
+                    self.last_cmp = (cmp_a, cmp_b)
+                    self.region_cycles = region_cycles
+                    self._next_interrupt = next_interrupt
+                    raise EmulationLimit(
+                        f"exceeded {max_instructions} instructions "
+                        f"({stats.summary()})"
+                    )
+                d = decoded[pc]
+                cost = d[1]
+
+                if budget is not None and period_used + cost > budget:
+                    # ---- power failure -----------------------------------
+                    stats.instructions = icount
+                    stats.cycles = cycles
+                    stats.power_failures += 1
+                    stats.reexecuted_cycles += region_cycles
+                    self._failures_since_checkpoint += 1
+                    if self._failures_since_checkpoint > 1000:
+                        self.pc = pc
+                        self.last_cmp = (cmp_a, cmp_b)
+                        self.region_cycles = region_cycles
+                        self._next_interrupt = next_interrupt
+                        raise NoForwardProgress(
+                            "the idempotent region does not fit the power-on "
+                            f"window ({stats.summary()})"
+                        )
+                    boot = costs.boot_cycles + costs.restore_cycles
+                    dead_periods = 0
+                    budget = next(on_iter)
+                    while budget < boot:
+                        dead_periods += 1
+                        stats.power_failures += 1
+                        if dead_periods > 10_000:
+                            self.pc = pc
+                            self.last_cmp = (cmp_a, cmp_b)
+                            self.region_cycles = region_cycles
+                            self._next_interrupt = next_interrupt
+                            raise NoForwardProgress(
+                                "power-on periods shorter than boot + restore"
+                            )
+                        budget = next(on_iter)
+                    period_used = boot
+                    cycles += boot
+                    stats.cycles = cycles
+                    stats.boot_cycles += boot
+                    jit_fired = jit_enabled and budget - boot <= jit_threshold
+                    self._jit_fired = jit_fired
+                    self._restore_checkpoint()
+                    regs = self.regs
+                    pc = self.pc
+                    cmp_a, cmp_b = self.last_cmp
+                    region_cycles = 0
+                    continue
+
+                icount += 1
+                k = d[0]
+
+                # dispatch ordered by measured dynamic frequency across the
+                # benchsuite (see docs/PERFORMANCE.md)
+                if k == K_MOV_R:
+                    regs[d[2]] = regs[d[3]]
+                elif k == K_ADD_RR:
+                    regs[d[2]] = (regs[d[3]] + regs[d[4]]) & M32
+                elif k == K_LDR4:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        regs[d[2]] = _U32(memory, addr)[0]
+                    else:
+                        regs[d[2]] = self.read_mem(addr, 4)
+                elif k == K_MOV_I:
+                    regs[d[2]] = d[3]
+                elif k == K_SHIFT:
+                    a = d[4] if d[3] else regs[d[4]]
+                    amount = (d[6] if d[5] else regs[d[6]]) & 0xFF
+                    mode = d[2]
+                    if mode == 0:  # lsl
+                        result = (a << amount) & M32 if amount < 32 else 0
+                    elif mode == 1:  # lsr
+                        result = a >> amount if amount < 32 else 0
+                    else:  # asr
+                        result = (_signed(a) >> amount) & M32 if amount < 32 else (
+                            M32 if _signed(a) < 0 else 0
+                        )
+                    regs[d[7]] = result
+                elif k == K_ALU_RR:
+                    regs[d[2]] = d[5](regs[d[3]], regs[d[4]]) & M32
+                elif k == K_EXT:
+                    v = d[5] if d[4] else regs[d[5]]
+                    mode = d[2]
+                    if mode == 0:  # sxtb
+                        v &= 0xFF
+                        regs[d[3]] = (v - 256 if v >= 128 else v) & M32
+                    elif mode == 1:  # uxtb
+                        regs[d[3]] = v & 0xFF
+                    elif mode == 2:  # sxth
+                        v &= 0xFFFF
+                        regs[d[3]] = (v - 65536 if v >= 32768 else v) & M32
+                    else:  # uxth
+                        regs[d[3]] = v & 0xFFFF
+                elif k == K_BCC:
+                    if d[2](cmp_a, cmp_b):
+                        pc = d[3]
+                        cost = d[4]
+                elif k == K_ADD_RI:
+                    regs[d[2]] = (regs[d[3]] + d[4]) & M32
+                elif k == K_CMP_RI:
+                    cmp_a = regs[d[2]]
+                    cmp_b = d[3]
+                elif k == K_B:
+                    pc = d[2]
+                    cost = d[3]
+                elif k == K_STR4_R:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        _P32(memory, addr, regs[d[2]])
+                    else:
+                        self.pc = pc
+                        self.write_mem(addr, 4, regs[d[2]])
+                elif k == K_LDR1:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        regs[d[2]] = memory[addr]
+                    else:
+                        regs[d[2]] = self.read_mem(addr, 1)
+                elif k == K_SUB_RI:
+                    regs[d[2]] = (regs[d[3]] - d[4]) & M32
+                elif k == K_STR1_R:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        memory[addr] = regs[d[2]] & 0xFF
+                    else:
+                        self.pc = pc
+                        self.write_mem(addr, 1, regs[d[2]])
+                elif k == K_CMP_RR:
+                    cmp_a = regs[d[2]]
+                    cmp_b = regs[d[3]]
+                elif k == K_ALU_RI:
+                    regs[d[2]] = d[5](regs[d[3]], d[4]) & M32
+                elif k == K_SUB_RR:
+                    regs[d[2]] = (regs[d[3]] - regs[d[4]]) & M32
+                elif k == K_LDR2:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        regs[d[2]] = _U16(memory, addr)[0]
+                    else:
+                        regs[d[2]] = self.read_mem(addr, 2)
+                elif k == K_STR2_R:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        _P16(memory, addr, regs[d[2]] & 0xFFFF)
+                    else:
+                        self.pc = pc
+                        self.write_mem(addr, 2, regs[d[2]])
+                elif k == K_BL:
+                    regs["lr"] = (pc + 1) & M32
+                    callee = d[3]
+                    cc[callee] = cc.get(callee, 0) + 1
+                    pc = d[2]
+                    cost = d[4]
+                elif k == K_BX_LR:
+                    target = regs["lr"]
+                    if target == halt_sentinel:
+                        cycles += cost
+                        region_cycles += cost
+                        stats.halted = True
+                        stats.instructions = icount
+                        stats.cycles = cycles
+                        self.pc = pc
+                        self.last_cmp = (cmp_a, cmp_b)
+                        self.region_cycles = region_cycles
+                        self._next_interrupt = next_interrupt
+                        return stats
+                    pc = target - 1
+                    cost = d[2]
+                elif k == K_PUSH:
+                    names = d[2]
+                    sp = (regs["sp"] - 4 * len(names)) & M32
+                    regs["sp"] = sp
+                    if war is None:
+                        addr = sp
+                        for name in names:
+                            _P32(memory, addr, regs[name])
+                            addr += 4
+                    else:
+                        self.pc = pc
+                        for i, name in enumerate(names):
+                            self.write_mem(sp + 4 * i, 4, regs[name])
+                elif k == K_POP:
+                    sp = regs["sp"]
+                    if war is None:
+                        addr = sp
+                        for name in d[2]:
+                            regs[name] = _U32(memory, addr)[0]
+                            addr += 4
+                    else:
+                        for i, name in enumerate(d[2]):
+                            regs[name] = self.read_mem(sp + 4 * i, 4)
+                    regs["sp"] = (sp + 4 * len(d[2])) & M32
+                elif k == K_CKPT:
+                    self.pc = pc
+                    self.last_cmp = (cmp_a, cmp_b)
+                    self.region_cycles = region_cycles
+                    self._take_checkpoint(d[2])
+                    region_cycles = 0
+                elif k == K_DIV:
+                    a = d[4] if d[3] else regs[d[4]]
+                    b = d[6] if d[5] else regs[d[6]]
+                    if b == 0:
+                        result = 0  # ARM semantics: division by zero yields 0
+                    elif not d[2]:  # udiv
+                        result = a // b
+                    else:
+                        sa, sb = _signed(a), _signed(b)
+                        result = abs(sa) // abs(sb)
+                        if (sa < 0) != (sb < 0):
+                            result = -result
+                    regs[d[7]] = result & M32
+                elif k == K_CMOV_R:
+                    if d[2](cmp_a, cmp_b):
+                        regs[d[3]] = regs[d[4]]
+                elif k == K_CMOV_I:
+                    if d[2](cmp_a, cmp_b):
+                        regs[d[3]] = d[4]
+                elif k == K_LEA:
+                    regs[d[2]] = (regs["sp"] + d[3]) & M32
+                elif k == K_ADDSP:
+                    regs["sp"] = (regs["sp"] + d[2]) & M32
+                elif k == K_STR4_I:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        _P32(memory, addr, d[2])
+                    else:
+                        self.pc = pc
+                        self.write_mem(addr, 4, d[2])
+                elif k == K_STR1_I:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        memory[addr] = d[2] & 0xFF
+                    else:
+                        self.pc = pc
+                        self.write_mem(addr, 1, d[2])
+                elif k == K_STR2_I:
+                    addr = (regs[d[3]] + d[4]) & M32
+                    if war is None:
+                        _P16(memory, addr, d[2] & 0xFFFF)
+                    else:
+                        self.pc = pc
+                        self.write_mem(addr, 2, d[2])
+                elif k == K_CMP_IR:
+                    cmp_a = d[2]
+                    cmp_b = regs[d[3]]
+                elif k == K_CMP_II:
+                    cmp_a = d[2]
+                    cmp_b = d[3]
+                elif k == K_ALU_IR:
+                    regs[d[2]] = d[5](d[3], regs[d[4]]) & M32
+                elif k == K_ALU_II:
+                    regs[d[2]] = d[5](d[3], d[4]) & M32
+                elif k == K_CPSID:
+                    self.interrupts_enabled = False
+                elif k == K_CPSIE:
+                    self.interrupts_enabled = True
+                    if self.pending_interrupt:
+                        self.pending_interrupt = False
+                        stats.instructions = icount
+                        stats.cycles = cycles
+                        self.pc = pc
+                        self.region_cycles = region_cycles
+                        self._fire_interrupt()
+                        cycles = stats.cycles
+                        region_cycles = self.region_cycles
+                elif k == K_NOP:
+                    pass
+                else:
+                    stats.instructions = icount
+                    stats.cycles = cycles
+                    self.pc = pc
+                    self.last_cmp = (cmp_a, cmp_b)
+                    self.region_cycles = region_cycles
+                    raise EmulationError(f"cannot execute {d[2]!r}")
+
+                cycles += cost
+                region_cycles += cost
+                period_used += cost
+                pc += 1
+
+                # JIT checkpoint: the comparator sees the capacitor voltage
+                # crossing the configured threshold; the device saves state
+                # and sleeps out the remainder of the discharge.
+                if (
+                    jit_enabled
+                    and budget is not None
+                    and not jit_fired
+                    and budget - period_used <= jit_threshold
+                ):
+                    jit_fired = True
+                    self._jit_fired = True
+                    cycles += checkpoint_cycles
+                    region_cycles += checkpoint_cycles
+                    period_used += checkpoint_cycles
+                    self.pc = pc
+                    self.last_cmp = (cmp_a, cmp_b)
+                    self.region_cycles = region_cycles
+                    self._take_checkpoint("jit", next_pc=pc)
+                    region_cycles = 0
+                    period_used = budget  # sleep until the brown-out
+
+                # periodic timer interrupt
+                if next_interrupt is not None and cycles >= next_interrupt:
+                    next_interrupt += interrupt_interval
+                    if self.interrupts_enabled:
+                        stats.instructions = icount
+                        stats.cycles = cycles
+                        self.pc = pc
+                        self.region_cycles = region_cycles
+                        self._fire_interrupt()
+                        cycles = stats.cycles
+                        region_cycles = self.region_cycles
+                    else:
+                        self.pending_interrupt = True
+        except EmulationError:
+            # raised with locals already synchronised (limit / no-forward-
+            # progress paths) or by the WAR-checking accessors — make sure
+            # the counters reflect the faulting instruction either way
+            stats.instructions = icount
+            stats.cycles = cycles
+            self.pc = pc
+            self.last_cmp = (cmp_a, cmp_b)
+            self.region_cycles = region_cycles
+            self._next_interrupt = next_interrupt
+            raise
+        except (IndexError, struct.error):
+            # the fast memory accessors bounds-check by construction:
+            # bytearray indexing / struct packing reject any access past
+            # the 1 MB address space
+            stats.instructions = icount
+            stats.cycles = cycles
+            self.pc = pc
+            self.last_cmp = (cmp_a, cmp_b)
+            self.region_cycles = region_cycles
+            self._next_interrupt = next_interrupt
+            raise EmulationError(f"memory access out of bounds: 0x{addr:x}")
+
+    def _run_reference(
+        self,
+        power: Optional[PowerSupply],
+        max_instructions: int,
     ) -> ExecutionStats:
         instrs = self.program.instrs
         costs = self.costs

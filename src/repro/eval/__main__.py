@@ -2,16 +2,23 @@
 
 Usage::
 
-    python -m repro.eval            # everything
-    python -m repro.eval fig4       # one experiment
-    python -m repro.eval fig4 fig5 table1 ...
+    python -m repro.eval                    # everything
+    python -m repro.eval fig4               # one experiment
+    python -m repro.eval fig4 fig5 table1   # several
+    python -m repro.eval --jobs 4           # explicit worker count
+
+The full cell grid of the requested experiments is prefetched in one
+parallel batch (worker count: ``--jobs``, else ``REPRO_JOBS``, else the
+CPU count), then each figure renders from the merged in-process results
+— byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from .figures import (
+    cells_for,
     render_figure4,
     render_figure5,
     render_figure6,
@@ -34,15 +41,33 @@ _RENDERERS = {
 
 
 def main(argv=None) -> int:
-    args = list(argv if argv is not None else sys.argv[1:])
-    if not args:
-        args = list(_RENDERERS)
-    unknown = [a for a in args if a not in _RENDERERS]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="regenerate the paper's figures and tables",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset to run: {', '.join(_RENDERERS)} (default: all)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or the CPU count)",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(_RENDERERS)
+    unknown = [a for a in names if a not in _RENDERERS]
     if unknown:
-        print(f"unknown experiment(s): {unknown}; choose from {sorted(_RENDERERS)}")
-        return 2
-    runner = ExperimentRunner()
-    for i, name in enumerate(args):
+        parser.error(
+            f"unknown experiment(s): {unknown}; choose from {sorted(_RENDERERS)}"
+        )
+    runner = ExperimentRunner(jobs=args.jobs)
+    runner.prefetch(cells_for(*names))
+    for i, name in enumerate(names):
         if i:
             print("\n" + "=" * 78 + "\n")
         print(_RENDERERS[name](runner))

@@ -9,14 +9,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..benchsuite import BENCHMARKS, PAPER_NAMES
-from ..emulator import FixedPeriodPower, trace_a, trace_b
 from ..ir.instructions import (
     CKPT_BACKEND,
     CKPT_FUNCTION_ENTRY,
     CKPT_FUNCTION_EXIT,
     CKPT_MIDDLE_END,
 )
-from .runner import FIGURE4_ENVIRONMENTS, ExperimentRunner
+from .runner import FIGURE4_ENVIRONMENTS, Cell, ExperimentRunner
 
 BENCH_ORDER = tuple(BENCHMARKS)
 
@@ -26,8 +25,17 @@ BENCH_ORDER = tuple(BENCHMARKS)
 # ---------------------------------------------------------------------------
 
 
+def cells_figure4() -> List[Cell]:
+    return [
+        Cell(bench, env)
+        for bench in BENCH_ORDER
+        for env in ("plain",) + FIGURE4_ENVIRONMENTS
+    ]
+
+
 def figure4(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
     """benchmark -> environment -> execution time normalized to plain C."""
+    runner.prefetch(cells_figure4())
     rows: Dict[str, Dict[str, float]] = {}
     for bench in BENCH_ORDER:
         rows[bench] = {"plain": 1.0}
@@ -39,6 +47,11 @@ def figure4(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
 def figure4_summary(runner: ExperimentRunner) -> Dict[str, float]:
     """The paper's headline numbers: average checkpoint-overhead reduction
     of WARio (and +Expander) vs Ratchet and R-PDG."""
+    runner.prefetch(
+        Cell(bench, env)
+        for bench in BENCH_ORDER
+        for env in ("plain", "ratchet", "r-pdg", "wario", "wario-expander")
+    )
     reductions = {}
     for target in ("wario", "wario-expander"):
         for baseline in ("ratchet", "r-pdg"):
@@ -86,9 +99,18 @@ FIGURE5_ENVIRONMENTS = (
 )
 
 
+def cells_figure5() -> List[Cell]:
+    return [
+        Cell(bench, env)
+        for bench in BENCH_ORDER
+        for env in FIGURE5_ENVIRONMENTS
+    ]
+
+
 def figure5(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
     """benchmark -> environment -> cause -> % of R-PDG's total executed
     checkpoints (R-PDG itself sums to 100)."""
+    runner.prefetch(cells_figure5())
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for bench in BENCH_ORDER:
         base_total = runner.executed_checkpoints(bench, "r-pdg")
@@ -129,9 +151,18 @@ def render_figure5(runner: ExperimentRunner) -> str:
 # ---------------------------------------------------------------------------
 
 
+def cells_table1() -> List[Cell]:
+    return [
+        Cell(bench, env)
+        for bench in BENCH_ORDER
+        for env in ("ratchet", "wario", "wario-expander")
+    ]
+
+
 def table1(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
     """benchmark -> {wario, wario-expander} -> relative change vs Ratchet
     (negative = fewer checkpoints)."""
+    runner.prefetch(cells_table1())
     rows: Dict[str, Dict[str, float]] = {}
     for bench in BENCH_ORDER:
         base = runner.executed_checkpoints(bench, "ratchet")
@@ -167,8 +198,17 @@ def render_table1(runner: ExperimentRunner) -> str:
 TABLE2_ENVIRONMENTS = ("ratchet", "wario", "wario-expander")
 
 
+def cells_table2() -> List[Cell]:
+    return [
+        Cell(bench, env)
+        for bench in BENCH_ORDER
+        for env in ("plain",) + TABLE2_ENVIRONMENTS
+    ]
+
+
 def table2(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
     """benchmark -> environment -> .text size increase vs plain C."""
+    runner.prefetch(cells_table2())
     rows: Dict[str, Dict[str, float]] = {}
     for bench in BENCH_ORDER:
         plain = runner.run(bench, "plain").program.text_size
@@ -221,7 +261,17 @@ class UnrollPoint:
     overhead_reduction: float  # % reduction of checkpoint overhead vs N=1
 
 
+def cells_figure6() -> List[Cell]:
+    cells = []
+    for bench in FIGURE6_BENCHMARKS:
+        cells.append(Cell(bench, "plain"))
+        for factor in FIGURE6_FACTORS:
+            cells.append(Cell(bench, "wario", factor))
+    return cells
+
+
 def figure6(runner: ExperimentRunner) -> Dict[str, List[UnrollPoint]]:
+    runner.prefetch(cells_figure6())
     out: Dict[str, List[UnrollPoint]] = {}
     for bench in FIGURE6_BENCHMARKS:
         base = runner.run(bench, "wario", unroll_factor=1)
@@ -281,7 +331,16 @@ class RegionStats:
     maximum: int
 
 
+def cells_figure7() -> List[Cell]:
+    return [
+        Cell(bench, env)
+        for bench in BENCH_ORDER
+        for env in FIGURE7_ENVIRONMENTS
+    ]
+
+
 def figure7(runner: ExperimentRunner) -> Dict[str, Dict[str, RegionStats]]:
+    runner.prefetch(cells_figure7())
     out: Dict[str, Dict[str, RegionStats]] = {}
     for bench in BENCH_ORDER:
         out[bench] = {}
@@ -334,16 +393,28 @@ class IntermittencyRow:
     power_failures: int
 
 
+TABLE3_POWER_KEYS = tuple(
+    [f"fixed-{p}" for p in TABLE3_PERIODS] + ["trace-a", "trace-b"]
+)
+
+
+def cells_table3() -> List[Cell]:
+    cells = []
+    for bench in BENCH_ORDER:
+        cells.append(Cell(bench, TABLE3_ENV))
+        for key in TABLE3_POWER_KEYS:
+            cells.append(Cell(bench, TABLE3_ENV, 0, key))
+    return cells
+
+
 def table3(runner: ExperimentRunner) -> Dict[str, List[IntermittencyRow]]:
-    supplies = [
-        (f"fixed-{p}", FixedPeriodPower(p)) for p in TABLE3_PERIODS
-    ] + [("trace-a", trace_a()), ("trace-b", trace_b())]
+    runner.prefetch(cells_table3())
     out: Dict[str, List[IntermittencyRow]] = {}
     for bench in BENCH_ORDER:
         continuous = runner.run(bench, TABLE3_ENV).stats.cycles
         rows = []
-        for key, supply in supplies:
-            run = runner.run(bench, TABLE3_ENV, power=supply, power_key=key)
+        for key in TABLE3_POWER_KEYS:
+            run = runner.run(bench, TABLE3_ENV, power_key=key)
             rows.append(
                 IntermittencyRow(
                     supply=key,
@@ -380,9 +451,33 @@ def render_table3(runner: ExperimentRunner) -> str:
 # Everything at once
 # ---------------------------------------------------------------------------
 
+#: experiment name -> cell enumerator (the full grid each figure needs)
+EXPERIMENT_CELLS = {
+    "fig4": cells_figure4,
+    "fig5": cells_figure5,
+    "table1": cells_table1,
+    "table2": cells_table2,
+    "fig6": cells_figure6,
+    "fig7": cells_figure7,
+    "table3": cells_table3,
+}
+
+
+def cells_for(*experiments: str) -> List[Cell]:
+    """The deduplicated cell list for a set of experiments (all when
+    empty), preserving first-occurrence order for deterministic merges."""
+    names = experiments or tuple(EXPERIMENT_CELLS)
+    seen = {}
+    for name in names:
+        for cell in EXPERIMENT_CELLS[name]():
+            seen.setdefault(cell, None)
+    return list(seen)
+
 
 def render_all(runner: Optional[ExperimentRunner] = None) -> str:
     runner = runner or ExperimentRunner()
+    # one batched prefetch: every cell of every figure fans out at once
+    runner.prefetch(cells_for())
     parts = [
         render_figure4(runner),
         render_figure5(runner),

@@ -1,18 +1,43 @@
-"""Shared experiment runner with result caching.
+"""Shared experiment runner: parallel execution with deterministic merge.
 
-Several figures consume the same (benchmark x environment) grid; the
-runner executes each combination once per process and hands out the
-recorded statistics.
+Several figures consume the same (benchmark x environment x unroll x
+power) grid.  The runner treats each combination as a :class:`Cell`,
+executes every cell at most once, and hands out the recorded statistics.
+Cells are independent — compilation and emulation are both deterministic
+functions of the cell — so :meth:`ExperimentRunner.prefetch` fans a batch
+of cells out over a :class:`~concurrent.futures.ProcessPoolExecutor` and
+merges the results back **in submission order**, which makes every
+figure and table byte-identical to a serial run.
+
+Worker count: the ``jobs`` argument, else the ``REPRO_JOBS`` environment
+variable, else ``os.cpu_count()``.  ``jobs=1`` runs serially in-process
+(no executor, no pickling) — the reference behaviour.
+
+Results are also shared *across* processes and invocations through the
+content-addressed :mod:`repro.cache`: each worker looks up compiled
+programs under their ``program-`` key and finished emulations under a
+``run-`` key derived from it, so a warm cache turns a full evaluation
+into a read-mostly sweep.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..backend import Program
 from ..benchsuite import BENCHMARKS, compile_benchmark, run_benchmark
-from ..emulator import ExecutionStats, PowerSupply
+from ..cache import CompileCache, resolve_cache, run_key
+from ..emulator import (
+    DEFAULT_COSTS,
+    ExecutionStats,
+    FixedPeriodPower,
+    PowerSupply,
+    trace_a,
+    trace_b,
+)
 
 #: evaluation environments, in the paper's Figure 4 order
 FIGURE4_ENVIRONMENTS = (
@@ -26,6 +51,51 @@ FIGURE4_ENVIRONMENTS = (
 )
 
 
+class Cell(NamedTuple):
+    """One point of the experiment grid."""
+
+    bench: str
+    env: str
+    unroll: int = 0          #: 0 = the environment's default factor
+    power_key: str = "continuous"
+
+
+#: canonical power keys understood by :func:`power_from_key`
+POWER_KEYS = ("continuous", "trace-a", "trace-b")  # plus "fixed-<cycles>"
+
+
+def power_from_key(power_key: Optional[str]) -> Optional[PowerSupply]:
+    """Reconstruct a power supply from its canonical key.
+
+    Supplies are deterministic (seeded), so the key fully identifies the
+    on-duration sequence — this is what makes emulation results disk-
+    cacheable and lets pool workers build their own supply instances.
+    """
+    if power_key is None or power_key == "continuous":
+        return None
+    if power_key == "trace-a":
+        return trace_a()
+    if power_key == "trace-b":
+        return trace_b()
+    if power_key.startswith("fixed-"):
+        return FixedPeriodPower(int(power_key[len("fixed-"):]))
+    raise ValueError(
+        f"unknown power key {power_key!r}; expected 'continuous', "
+        f"'fixed-<cycles>', 'trace-a' or 'trace-b'"
+    )
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    return os.cpu_count() or 1
+
+
 @dataclass
 class RunResult:
     stats: ExecutionStats
@@ -33,16 +103,112 @@ class RunResult:
     outputs_ok: bool = True
 
 
-class ExperimentRunner:
-    """Runs and caches (benchmark, environment, unroll, power) cells."""
+# ---------------------------------------------------------------------------
+# Cell execution (module-level so pool workers can pickle it)
+# ---------------------------------------------------------------------------
 
-    def __init__(self, war_check: bool = False):
+
+def _execute_cell(cell: Cell, war_check: bool, cache=None) -> RunResult:
+    """Compile (once) and emulate one grid cell, honouring the disk cache.
+
+    The program is compiled a single time and fed to the emulator; the
+    same object lands in ``RunResult.program`` for the code-size tables.
+    Emulation results are cached under a ``run-`` key derived from the
+    program's own content address, the power key, and the WAR-check flag.
+    """
+    bench = BENCHMARKS[cell.bench]
+    unroll = cell.unroll or None
+    war = war_check and cell.env != "plain"
+    program = compile_benchmark(bench, cell.env, unroll, cache=cache)
+    store = resolve_cache(cache)
+    rkey = None
+    if store is not None and program.cache_key:
+        rkey = run_key(
+            program.cache_key,
+            cell.power_key,
+            war,
+            bench.max_instructions,
+            repr(DEFAULT_COSTS),
+        )
+        stats = store.get(rkey)
+        if stats is not None:
+            return RunResult(stats=stats, program=program)
+    _, stats = run_benchmark(
+        bench,
+        cell.env,
+        power=power_from_key(cell.power_key),
+        unroll_factor=unroll,
+        war_check=war,
+        verify=True,
+        program=program,
+    )
+    if rkey is not None:
+        store.put(rkey, stats)
+    return RunResult(stats=stats, program=program)
+
+
+#: pool workers keep one cache instance per directory so the in-memory
+#: layer persists across the cells each worker executes
+_worker_caches: Dict[Optional[str], CompileCache] = {}
+
+
+def _pool_worker(payload: Tuple[Cell, bool, Optional[str], bool]) -> RunResult:
+    cell, war_check, cache_dir, use_disk = payload
+    if not use_disk:
+        cache = False
+    else:
+        cache = _worker_caches.get(cache_dir)
+        if cache is None:
+            cache = CompileCache(cache_dir)
+            _worker_caches[cache_dir] = cache
+    return _execute_cell(cell, war_check, cache)
+
+
+CellLike = Union[Cell, Sequence]
+
+
+class ExperimentRunner:
+    """Runs and caches (benchmark, environment, unroll, power) cells.
+
+    ``jobs`` fixes the parallelism of :meth:`prefetch` (default: resolved
+    per call from ``REPRO_JOBS`` / CPU count).  ``cache`` follows the
+    :func:`repro.cache.resolve_cache` convention: ``None`` uses the
+    process-wide disk cache (honouring ``REPRO_CACHE``), ``False``
+    disables disk caching, a :class:`CompileCache` pins a directory.
+    """
+
+    def __init__(
+        self,
+        war_check: bool = False,
+        jobs: Optional[int] = None,
+        cache=None,
+    ):
         # WAR checking costs dict traffic per memory access; the
         # correctness suite verifies WAR freedom separately, so the
         # performance harness defaults it off (like the paper's separate
         # verification runs).
         self.war_check = war_check
-        self._cache: Dict[Tuple, RunResult] = {}
+        self.jobs = jobs
+        self._cache_arg = cache
+        self._results: Dict[Cell, RunResult] = {}
+
+    # -- keying ----------------------------------------------------------
+
+    def _cell(
+        self,
+        bench_name: str,
+        env: str,
+        unroll_factor: Optional[int] = None,
+        power_key: Optional[str] = None,
+    ) -> Cell:
+        return Cell(bench_name, env, unroll_factor or 0, power_key or "continuous")
+
+    def _normalize(self, cell: CellLike) -> Cell:
+        if isinstance(cell, Cell):
+            return cell
+        return self._cell(*cell)
+
+    # -- execution -------------------------------------------------------
 
     def run(
         self,
@@ -52,22 +218,72 @@ class ExperimentRunner:
         power: Optional[PowerSupply] = None,
         power_key: Optional[str] = None,
     ) -> RunResult:
-        key = (bench_name, env, unroll_factor or 0, power_key or "continuous")
-        if key in self._cache:
-            return self._cache[key]
-        bench = BENCHMARKS[bench_name]
-        machine, stats = run_benchmark(
-            bench,
-            env,
-            power=power,
-            unroll_factor=unroll_factor,
-            war_check=self.war_check and env != "plain",
-            verify=True,
-        )
-        program = compile_benchmark(bench, env, unroll_factor)
-        result = RunResult(stats=stats, program=program)
-        self._cache[key] = result
+        if power is not None and power_key is None:
+            # derive the memo key from the supply's name; custom supplies
+            # still memoise in-process under it
+            power_key = getattr(power, "name", None) or "custom"
+        cell = self._cell(bench_name, env, unroll_factor, power_key)
+        result = self._results.get(cell)
+        if result is not None:
+            return result
+        if power is not None:
+            # caller-supplied supply object: its state is unknown (it may
+            # be mid-iteration or a custom model), so run it directly and
+            # skip the disk run-cache
+            bench = BENCHMARKS[bench_name]
+            war = self.war_check and env != "plain"
+            program = compile_benchmark(
+                bench, env, unroll_factor, cache=self._cache_arg
+            )
+            _, stats = run_benchmark(
+                bench,
+                env,
+                power=power,
+                unroll_factor=unroll_factor,
+                war_check=war,
+                verify=True,
+                program=program,
+            )
+            result = RunResult(stats=stats, program=program)
+        else:
+            result = _execute_cell(cell, self.war_check, self._cache_arg)
+        self._results[cell] = result
         return result
+
+    def prefetch(
+        self, cells: Iterable[CellLike], jobs: Optional[int] = None
+    ) -> None:
+        """Execute a batch of cells, fanning out over worker processes.
+
+        Results merge into the in-process memo **in the order given**, so
+        a subsequent serial walk of the same cells (what every figure
+        does) observes exactly what a serial run would have computed.
+        """
+        ordered = []
+        seen = set()
+        for cell in map(self._normalize, cells):
+            if cell not in seen and cell not in self._results:
+                seen.add(cell)
+                ordered.append(cell)
+        if not ordered:
+            return
+        if jobs is None:
+            jobs = self.jobs if self.jobs is not None else default_jobs()
+        jobs = max(1, min(jobs, len(ordered)))
+        if jobs == 1:
+            for cell in ordered:
+                self._results[cell] = _execute_cell(
+                    cell, self.war_check, self._cache_arg
+                )
+            return
+        store = resolve_cache(self._cache_arg)
+        use_disk = store is not None
+        cache_dir = store.directory if use_disk else None
+        payloads = [(cell, self.war_check, cache_dir, use_disk) for cell in ordered]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # executor.map preserves submission order: deterministic merge
+            for cell, result in zip(ordered, pool.map(_pool_worker, payloads)):
+                self._results[cell] = result
 
     # -- convenience -----------------------------------------------------
     def cycles(self, bench_name: str, env: str) -> int:
