@@ -8,6 +8,7 @@ Usage::
     python -m repro lint program.c --env wario
     python -m repro lint --benchmark all --env wario-expander --format json
     python -m repro analyze --benchmark all --env wario-summaries
+    python -m repro inject --quick -o report.json
     python -m repro cache stats
     python -m repro bench --quick
     python -m repro envs
@@ -17,8 +18,11 @@ statistics; ``run`` executes on the emulator and reports execution
 statistics; ``lint`` statically certifies WAR-freedom (exit 0 clean,
 1 diagnostics of severity error, 2 compile failure); ``analyze`` dumps
 the interprocedural points-to sets, mod/ref summaries and every
-precision-loss cause; ``cache`` inspects or clears the content-addressed
-compile cache; ``bench`` measures the toolchain's own performance (see
+precision-loss cause; ``inject`` runs the deterministic power-failure
+fault-injection campaign and differentially certifies crash consistency
+against the continuous-power oracle (exit 0 certified, 1 findings, 2
+campaign failure — see ``docs/FAULT_INJECTION.md``); ``cache`` inspects
+or clears the content-addressed compile cache; ``bench`` measures the toolchain's own performance (see
 ``docs/PERFORMANCE.md``); ``envs`` lists the available software
 environments.
 """
@@ -100,6 +104,37 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("--env", default="wario-summaries")
     analyze_p.add_argument("--format", choices=("text", "json"),
                           default="text")
+
+    inject_p = sub.add_parser(
+        "inject",
+        help="deterministic power-failure fault injection with "
+             "differential crash-consistency certification",
+    )
+    inject_p.add_argument("--bench", action="append", default=None,
+                          metavar="NAME",
+                          help="benchmark to sweep (repeatable; default: "
+                               "the full suite, or crc+sha with --quick)")
+    inject_p.add_argument("--env", action="append", default=None,
+                          metavar="NAME",
+                          help="software environment to sweep (repeatable; "
+                               "default: wario and ratchet)")
+    inject_p.add_argument("--quick", action="store_true",
+                          help="CI-sized campaign: two benchmarks, small "
+                               "schedule budgets")
+    inject_p.add_argument("--seed", type=int, default=0,
+                          help="campaign seed for the interior-point RNG")
+    inject_p.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS or "
+                               "the CPU count)")
+    inject_p.add_argument("--budget", type=int, default=0, metavar="N",
+                          help="cap the planned schedules per pair "
+                               "(0 = unlimited)")
+    inject_p.add_argument("--event-cap", type=int, default=None, metavar="N",
+                          help="max targeted events per kind")
+    inject_p.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    inject_p.add_argument("-o", "--output", default=None,
+                          help="also write the JSON report to a file")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the content-addressed compile cache"
@@ -378,6 +413,41 @@ def _cmd_envs(_args) -> int:
     return 0
 
 
+def _cmd_inject(args) -> int:
+    from .faultinject import full_config, quick_config, run_campaign
+
+    overrides = {"seed": args.seed, "jobs": args.jobs,
+                 "max_schedules": args.budget}
+    if args.event_cap is not None:
+        overrides["event_cap"] = args.event_cap
+    config = (quick_config if args.quick else full_config)(**overrides)
+    if args.bench:
+        config = _dc_replace(config, benches=tuple(args.bench))
+    if args.env:
+        config = _dc_replace(config, envs=tuple(args.env))
+    try:
+        report = run_campaign(config)
+    except Exception as exc:  # compile failure, unknown bench/env, ...
+        print(f"inject: campaign failed: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+        if args.output:
+            print(f"wrote {args.output}")
+    return 0 if report.certified else 1
+
+
+def _dc_replace(config, **kwargs):
+    from dataclasses import replace
+
+    return replace(config, **kwargs)
+
+
 def _cmd_cache(args) -> int:
     from .cache import get_cache
 
@@ -409,6 +479,8 @@ def main(argv=None) -> int:
         return _cmd_lint(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "inject":
+        return _cmd_inject(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "bench":

@@ -20,6 +20,10 @@ Key structure (one hash per artifact kind):
   key, the WAR-check flag, the instruction budget, and the cost model.
 * ``lint-<sha>`` — a :class:`~repro.core.lint.LintResult`; the hash
   covers the sources, config, name, and toolchain tag.
+* ``inject-<sha>`` — one fault-injection campaign cell (oracle record or
+  schedule outcome, see :mod:`repro.faultinject`); the hash covers the
+  producing program's key, the failure schedule, the WAR-check flag, the
+  instruction budget, and the cost model.
 
 Invalidation is structural: the **toolchain version tag** mixed into
 every key is ``COMPILER_VERSION_TAG`` plus a fingerprint of the
@@ -152,6 +156,26 @@ def lint_key(sources, config, name: str = "program") -> str:
     if isinstance(sources, str):
         sources = [sources]
     return _digest("lint", name, repr(config), *sources)
+
+
+def inject_key(program_key: str, schedule, war_check: bool,
+               max_instructions: int, cost_model_repr: str) -> str:
+    """Key of one fault-injection campaign cell (``CellOutcome``).
+
+    ``schedule`` is the tuple of scheduled on-durations; the empty tuple
+    keys the continuous-power *oracle* record (final-memory digest,
+    outputs, WAR verdict, event map) of the same program.  These entries
+    are the campaign's resumable state: re-invoking an interrupted
+    campaign replays completed cells from disk instead of re-emulating.
+    """
+    return _digest(
+        "inject",
+        program_key,
+        ",".join(str(d) for d in schedule) or "oracle",
+        "war" if war_check else "nowar",
+        str(max_instructions),
+        cost_model_repr,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +352,6 @@ def resolve_cache(cache=None) -> Optional[CompileCache]:
 __all__ = [
     "COMPILER_VERSION_TAG", "CacheReport", "CompileCache",
     "cache_enabled", "compile_key", "default_cache_dir", "get_cache",
-    "lint_key", "reset_cache", "resolve_cache", "run_key",
+    "inject_key", "lint_key", "reset_cache", "resolve_cache", "run_key",
     "source_fingerprint", "version_tag",
 ]

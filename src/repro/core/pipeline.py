@@ -64,6 +64,11 @@ class EnvironmentConfig:
     #: (:mod:`repro.analysis.summaries`) and elide entry/epilogue
     #: checkpoints for transparent (summarised WAR-free) callees
     call_summaries: bool = False
+    #: TEST-ONLY fault seeding: drop the Nth middle-end checkpoint after
+    #: insertion.  The fault-injection campaign's mutation tests use this
+    #: to prove the differential certifier catches a real consistency
+    #: bug; no named environment ever sets it.
+    drop_checkpoint: Optional[int] = None
 
 
 ENVIRONMENTS: Dict[str, EnvironmentConfig] = {
@@ -136,6 +141,25 @@ def environment(name_or_config: Union[str, EnvironmentConfig]) -> EnvironmentCon
         ) from None
 
 
+def _drop_nth_checkpoint(module: Module, index: int) -> None:
+    """TEST-ONLY (``EnvironmentConfig.drop_checkpoint``): remove the
+    ``index``-th middle-end checkpoint, in program order, to seed a WAR
+    consistency bug the fault-injection campaign must catch."""
+    seen = 0
+    for function in module.defined_functions():
+        for block in function.blocks:
+            for instr in list(block):
+                if instr.opcode == "checkpoint":
+                    if seen == index:
+                        block.remove(instr)
+                        return
+                    seen += 1
+    raise ValueError(
+        f"drop_checkpoint={index}: the module only has {seen} "
+        f"middle-end checkpoints"
+    )
+
+
 def run_middle_end(
     module: Module, config: EnvironmentConfig, verify_static: bool = False
 ):
@@ -182,6 +206,8 @@ def run_middle_end(
             from .region_bound import bound_region_sizes
 
             bound_region_sizes(module, config.max_region_cycles)
+        if config.drop_checkpoint is not None:
+            _drop_nth_checkpoint(module, config.drop_checkpoint)
     verify_module(module)
     if verify_static:
         engine = verify_module_war(

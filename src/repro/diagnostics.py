@@ -40,6 +40,10 @@ SEVERITIES = (ERROR, WARNING, NOTE)
 LEVEL_IR = "ir"
 LEVEL_MIR = "mir"
 LEVEL_DYNAMIC = "dynamic"
+#: findings of the power-failure fault-injection campaign
+#: (:mod:`repro.faultinject`): differential divergence from the
+#: continuous-power oracle under a concrete failure schedule
+LEVEL_CAMPAIGN = "campaign"
 
 
 @dataclass(frozen=True)
@@ -200,7 +204,7 @@ def render_json(diagnostics: List[Diagnostic]) -> str:
 
 __all__ = [
     "ERROR", "WARNING", "NOTE", "SEVERITIES",
-    "LEVEL_IR", "LEVEL_MIR", "LEVEL_DYNAMIC",
+    "LEVEL_IR", "LEVEL_MIR", "LEVEL_DYNAMIC", "LEVEL_CAMPAIGN",
     "SourceLoc", "Diagnostic", "DiagnosticEngine",
     "render_text", "render_json",
 ]

@@ -4,6 +4,7 @@ register checkpoints, power-failure injection, interrupt stacking, and
 WAR-violation absence verification."""
 
 from .costs import DEFAULT_COSTS, CostModel
+from .events import EVENT_KINDS, Event, EventTrace
 from .machine import (
     EmulationError,
     EmulationLimit,
@@ -14,6 +15,7 @@ from .power import (
     ContinuousPower,
     FixedPeriodPower,
     PowerSupply,
+    SchedulePower,
     SuddenDropPower,
     TracePower,
     trace_a,
@@ -26,8 +28,9 @@ __all__ = [
     "CostModel", "DEFAULT_COSTS",
     "Machine", "EmulationError", "EmulationLimit", "NoForwardProgress",
     "PowerSupply", "ContinuousPower", "FixedPeriodPower", "TracePower",
-    "SuddenDropPower",
+    "SchedulePower", "SuddenDropPower",
     "trace_a", "trace_b",
     "ExecutionStats",
+    "EVENT_KINDS", "Event", "EventTrace",
     "WARChecker", "Violation",
 ]

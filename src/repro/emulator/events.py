@@ -1,0 +1,101 @@
+"""Execution event tracing for the fault-injection campaign engine.
+
+A continuous-power *harvest* run records the cycle offset of every
+consistency-critical instant of an execution — the places where §2/§4 of
+the paper argue a power failure is dangerous:
+
+* ``checkpoint`` — a checkpoint instruction committed (the cycle is the
+  cumulative on-time *before* the commit's ``checkpoint_cycles`` are
+  charged, so the commit occupies ``[cycle, cycle + checkpoint_cycles)``);
+* ``restore`` — a post-failure checkpoint restoration completed (never
+  present in a continuous-power trace; recorded during schedule replays);
+* ``war-write`` — the first NVM store of an idempotent region (the
+  moment the region stops being trivially re-executable);
+* ``war-violation`` — the dynamic WAR checker flagged this store (only
+  ever present for seeded-fault builds; the prime failure target);
+* ``mask`` / ``unmask`` — ``cpsid`` / ``cpsie`` executed (the
+  interrupt-masked epilogue window of the WARio frame-release protocol).
+
+The trace is the input of :mod:`repro.faultinject.plan`, which aims
+deterministic failure schedules at each recorded instant.
+
+Tracing requires WAR checking (``war_check=True``): the fast
+interpreter's unchecked store paths bypass the :meth:`Machine.write_mem`
+hook, so an untraced-store trace would silently miss ``war-write``
+events.  :class:`~repro.emulator.machine.Machine` enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+#: Event kinds, in the order the planner iterates them.
+EVENT_KINDS = (
+    "checkpoint",
+    "restore",
+    "war-write",
+    "war-violation",
+    "mask",
+    "unmask",
+)
+
+
+class Event(NamedTuple):
+    """One recorded instant of an execution."""
+
+    kind: str
+    cycle: int      #: cumulative on-time cycles before the instruction
+    pc: int         #: instruction index (the emulator's program counter)
+    detail: str = ""  #: checkpoint cause, store address, ...
+
+
+class EventTrace:
+    """Collects :class:`Event` values during one :class:`Machine` run.
+
+    The machine calls the ``on_*`` hooks from both interpreter loops at
+    points where ``stats.cycles`` is synchronised, so fast and reference
+    runs of the same program produce identical traces (see the parity
+    tests in ``tests/test_faultinject.py``).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        #: armed until the first store of the current idempotent region
+        self._war_armed = True
+
+    # -- hooks (called by Machine) ---------------------------------------
+    def record(self, kind: str, cycle: int, pc: int, detail: str = "") -> None:
+        self.events.append(Event(kind, cycle, pc, detail))
+
+    def on_checkpoint(self, cycle: int, pc: int, cause: str) -> None:
+        self.record("checkpoint", cycle, pc, cause)
+        self._war_armed = True
+
+    def on_restore(self, cycle: int, pc: int) -> None:
+        self.record("restore", cycle, pc)
+        self._war_armed = True
+
+    def on_store(self, cycle: int, pc: int, address: int) -> None:
+        if self._war_armed:
+            self._war_armed = False
+            self.record("war-write", cycle, pc, f"0x{address:x}")
+
+    def on_war_violation(self, cycle: int, pc: int, address: int) -> None:
+        self.record("war-violation", cycle, pc, f"0x{address:x}")
+
+    # -- queries ---------------------------------------------------------
+    def by_kind(self) -> Dict[str, List[Event]]:
+        grouped: Dict[str, List[Event]] = {}
+        for event in self.events:
+            grouped.setdefault(event.kind, []).append(event)
+        return grouped
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def as_tuples(self) -> List[Tuple[str, int, int, str]]:
+        """A picklable, cache-stable rendering of the trace."""
+        return [tuple(e) for e in self.events]
+
+
+__all__ = ["EVENT_KINDS", "Event", "EventTrace"]

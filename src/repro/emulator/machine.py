@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..backend.encoder import HALT_ADDRESS, Program, STACK_TOP
 from .costs import DEFAULT_COSTS, CostModel
+from .events import EventTrace
 from .power import PowerSupply
 from .stats import ExecutionStats
 from .warcheck import WARChecker
@@ -258,9 +259,19 @@ class Machine:
         interrupt_interval: Optional[int] = None,
         jit_checkpoint_threshold: Optional[int] = None,
         fast_interp: bool = True,
+        trace: Optional[EventTrace] = None,
     ):
         self.program = program
         self.costs = cost_model or DEFAULT_COSTS
+        #: optional :class:`EventTrace` recording consistency-critical
+        #: instants (checkpoint commits, restores, first region stores,
+        #: epilogue mask/unmask) for the fault-injection planner.  The
+        #: ``war-write`` hook lives in :meth:`write_mem`, which the fast
+        #: interpreter only routes stores through when WAR checking is
+        #: on — so tracing requires ``war_check=True``.
+        if trace is not None and not war_check:
+            raise ValueError("event tracing requires war_check=True")
+        self._trace = trace
         #: ``fast_interp=False`` selects the reference interpreter (the
         #: original per-MInstr dispatch loop); the parity tests compare
         #: its ExecutionStats against the predecoded fast path.
@@ -316,11 +327,26 @@ class Machine:
     def write_mem(self, addr: int, size: int, value: int) -> None:
         if addr + size > len(self.memory):
             raise EmulationError(f"store out of bounds: 0x{addr:x}")
-        if self.war is not None:
-            self.war.on_write(
-                addr, size, self.pc, self.program.function_of_index[self.pc],
-                loc=self.program.instrs[self.pc].loc,
-            )
+        war = self.war
+        if war is not None:
+            trace = self._trace
+            if trace is None:
+                war.on_write(
+                    addr, size, self.pc, self.program.function_of_index[self.pc],
+                    loc=self.program.instrs[self.pc].loc,
+                )
+            else:
+                # tracing: both loops synchronise ``stats.cycles`` (and
+                # ``pc``) before reaching here, so the recorded cycle is
+                # the cumulative on-time before this store's cost
+                before = len(war.violations)
+                war.on_write(
+                    addr, size, self.pc, self.program.function_of_index[self.pc],
+                    loc=self.program.instrs[self.pc].loc,
+                )
+                trace.on_store(self.stats.cycles, self.pc, addr)
+                if len(war.violations) != before:
+                    trace.on_war_violation(self.stats.cycles, self.pc, addr)
         self.memory[addr : addr + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
             size, "little"
         )
@@ -343,6 +369,8 @@ class Machine:
         self.region_cycles = 0
         if self.war is not None:
             self.war.on_checkpoint()
+        if self._trace is not None:
+            self._trace.on_checkpoint(self.stats.cycles, self.pc, cause)
 
     def _restore_checkpoint(self) -> None:
         regs, pc, cmp_state = self._ckpt_active
@@ -354,6 +382,8 @@ class Machine:
         self.region_cycles = 0
         if self.war is not None:
             self.war.on_power_restore()
+        if self._trace is not None:
+            self._trace.on_restore(self.stats.cycles, self.pc)
 
     # -- interrupts -------------------------------------------------------------
     def _fire_interrupt(self) -> None:
@@ -407,6 +437,7 @@ class Machine:
         regs = self.regs
         memory = self.memory
         war = self.war
+        trace = self._trace
         cc = stats.call_counts
 
         pc = self.pc
@@ -556,6 +587,8 @@ class Machine:
                         _P32(memory, addr, regs[d[2]])
                     else:
                         self.pc = pc
+                        if trace is not None:
+                            stats.cycles = cycles
                         self.write_mem(addr, 4, regs[d[2]])
                 elif k == K_LDR1:
                     addr = (regs[d[3]] + d[4]) & M32
@@ -571,6 +604,8 @@ class Machine:
                         memory[addr] = regs[d[2]] & 0xFF
                     else:
                         self.pc = pc
+                        if trace is not None:
+                            stats.cycles = cycles
                         self.write_mem(addr, 1, regs[d[2]])
                 elif k == K_CMP_RR:
                     cmp_a = regs[d[2]]
@@ -591,6 +626,8 @@ class Machine:
                         _P16(memory, addr, regs[d[2]] & 0xFFFF)
                     else:
                         self.pc = pc
+                        if trace is not None:
+                            stats.cycles = cycles
                         self.write_mem(addr, 2, regs[d[2]])
                 elif k == K_BL:
                     regs["lr"] = (pc + 1) & M32
@@ -624,6 +661,8 @@ class Machine:
                             addr += 4
                     else:
                         self.pc = pc
+                        if trace is not None:
+                            stats.cycles = cycles
                         for i, name in enumerate(names):
                             self.write_mem(sp + 4 * i, 4, regs[name])
                 elif k == K_POP:
@@ -641,6 +680,7 @@ class Machine:
                     self.pc = pc
                     self.last_cmp = (cmp_a, cmp_b)
                     self.region_cycles = region_cycles
+                    stats.cycles = cycles
                     self._take_checkpoint(d[2])
                     region_cycles = 0
                 elif k == K_DIV:
@@ -672,6 +712,8 @@ class Machine:
                         _P32(memory, addr, d[2])
                     else:
                         self.pc = pc
+                        if trace is not None:
+                            stats.cycles = cycles
                         self.write_mem(addr, 4, d[2])
                 elif k == K_STR1_I:
                     addr = (regs[d[3]] + d[4]) & M32
@@ -679,6 +721,8 @@ class Machine:
                         memory[addr] = d[2] & 0xFF
                     else:
                         self.pc = pc
+                        if trace is not None:
+                            stats.cycles = cycles
                         self.write_mem(addr, 1, d[2])
                 elif k == K_STR2_I:
                     addr = (regs[d[3]] + d[4]) & M32
@@ -686,6 +730,8 @@ class Machine:
                         _P16(memory, addr, d[2] & 0xFFFF)
                     else:
                         self.pc = pc
+                        if trace is not None:
+                            stats.cycles = cycles
                         self.write_mem(addr, 2, d[2])
                 elif k == K_CMP_IR:
                     cmp_a = d[2]
@@ -699,8 +745,12 @@ class Machine:
                     regs[d[2]] = d[5](d[3], d[4]) & M32
                 elif k == K_CPSID:
                     self.interrupts_enabled = False
+                    if trace is not None:
+                        trace.record("mask", cycles, pc)
                 elif k == K_CPSIE:
                     self.interrupts_enabled = True
+                    if trace is not None:
+                        trace.record("unmask", cycles, pc)
                     if self.pending_interrupt:
                         self.pending_interrupt = False
                         stats.instructions = icount
@@ -742,6 +792,7 @@ class Machine:
                     self.pc = pc
                     self.last_cmp = (cmp_a, cmp_b)
                     self.region_cycles = region_cycles
+                    stats.cycles = cycles
                     self._take_checkpoint("jit", next_pc=pc)
                     region_cycles = 0
                     period_used = budget  # sleep until the brown-out
@@ -946,8 +997,12 @@ class Machine:
                 self._take_checkpoint(instr.cause)
             elif op == "cpsid":
                 self.interrupts_enabled = False
+                if self._trace is not None:
+                    self._trace.record("mask", stats.cycles, self.pc)
             elif op == "cpsie":
                 self.interrupts_enabled = True
+                if self._trace is not None:
+                    self._trace.record("unmask", stats.cycles, self.pc)
                 if self.pending_interrupt:
                     self.pending_interrupt = False
                     self._fire_interrupt()

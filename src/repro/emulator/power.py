@@ -104,16 +104,53 @@ class SuddenDropPower(PowerSupply):
     def __init__(self, base_cycles: int, drop_every: int = 4, drop_cycles: int = 2000):
         if drop_cycles >= base_cycles:
             raise ValueError("the drop must be shorter than the base period")
+        if drop_every <= 0:
+            raise ValueError("drop_every must be positive")
         self.base_cycles = base_cycles
         self.drop_every = drop_every
         self.drop_cycles = drop_cycles
-        self.name = f"sudden-drop-{base_cycles}/{drop_cycles}"
+        # Canonical key: every parameter is part of the name, so two
+        # supplies with the same base/drop but different cadence can
+        # never collide in result or cache keys, and
+        # ``power_from_key(name)`` round-trips.
+        self.name = f"sudden-drop-{base_cycles}-{drop_every}-{drop_cycles}"
 
     def on_durations(self) -> Iterator[int]:
         n = 0
         while True:
             n += 1
             yield self.drop_cycles if n % self.drop_every == 0 else self.base_cycles
+
+
+class SchedulePower(PowerSupply):
+    """Replay an explicit, finite failure schedule.
+
+    ``durations`` is the sequence of power-on periods, in cycles, each of
+    which ends in a power failure; after the schedule is exhausted the
+    supply is continuous, so the program always runs to completion.  This
+    is the deterministic building block of the fault-injection campaign
+    (:mod:`repro.faultinject`): a schedule of ``k`` durations aims
+    exactly ``k`` failures at chosen cumulative on-time offsets.
+
+    Note that after each failure the boot + restore path consumes
+    ``boot_cycles + restore_cycles`` out of the *next* period, so a
+    second failure "δ cycles after the restore" is the two-point schedule
+    ``(c, boot + restore + δ)``.
+    """
+
+    def __init__(self, durations):
+        durations = tuple(int(d) for d in durations)
+        if not durations:
+            raise ValueError("a failure schedule needs at least one period")
+        if any(d <= 0 for d in durations):
+            raise ValueError("power-on periods must be positive")
+        self.durations = durations
+        self.name = "schedule-" + "-".join(str(d) for d in durations)
+
+    def on_durations(self) -> Iterator[int]:
+        yield from self.durations
+        while True:
+            yield 1 << 62
 
 
 def trace_a() -> TracePower:

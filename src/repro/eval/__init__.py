@@ -28,12 +28,15 @@ from .runner import (
     ExperimentRunner,
     RunResult,
     default_jobs,
+    map_ordered,
     power_from_key,
+    supply_key,
 )
 
 __all__ = [
     "ExperimentRunner", "RunResult", "Cell", "FIGURE4_ENVIRONMENTS",
-    "default_jobs", "power_from_key", "EXPERIMENT_CELLS", "cells_for",
+    "default_jobs", "map_ordered", "power_from_key", "supply_key",
+    "EXPERIMENT_CELLS", "cells_for",
     "figure4", "figure4_summary", "figure5", "figure6", "figure7",
     "table1", "table2", "table3",
     "render_figure4", "render_figure5", "render_table1", "render_table2",

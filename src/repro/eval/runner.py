@@ -22,19 +22,33 @@ into a read-mostly sweep.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..backend import Program
 from ..benchsuite import BENCHMARKS, compile_benchmark, run_benchmark
 from ..cache import CompileCache, resolve_cache, run_key
 from ..emulator import (
     DEFAULT_COSTS,
+    ContinuousPower,
     ExecutionStats,
     FixedPeriodPower,
     PowerSupply,
+    SchedulePower,
+    SuddenDropPower,
     trace_a,
     trace_b,
 )
@@ -60,8 +74,10 @@ class Cell(NamedTuple):
     power_key: str = "continuous"
 
 
-#: canonical power keys understood by :func:`power_from_key`
-POWER_KEYS = ("continuous", "trace-a", "trace-b")  # plus "fixed-<cycles>"
+#: canonical power keys understood by :func:`power_from_key`; the
+#: parameterised families are ``fixed-<cycles>``,
+#: ``sudden-drop-<base>-<every>-<drop>`` and ``schedule-<d1>-<d2>-...``
+POWER_KEYS = ("continuous", "trace-a", "trace-b")
 
 
 def power_from_key(power_key: Optional[str]) -> Optional[PowerSupply]:
@@ -77,12 +93,60 @@ def power_from_key(power_key: Optional[str]) -> Optional[PowerSupply]:
         return trace_a()
     if power_key == "trace-b":
         return trace_b()
-    if power_key.startswith("fixed-"):
-        return FixedPeriodPower(int(power_key[len("fixed-"):]))
+    try:
+        if power_key.startswith("fixed-"):
+            return FixedPeriodPower(int(power_key[len("fixed-"):]))
+        if power_key.startswith("sudden-drop-"):
+            base, every, drop = (
+                int(p) for p in power_key[len("sudden-drop-"):].split("-")
+            )
+            return SuddenDropPower(base, drop_every=every, drop_cycles=drop)
+        if power_key.startswith("schedule-"):
+            durations = [int(p) for p in power_key[len("schedule-"):].split("-")]
+            return SchedulePower(durations)
+    except ValueError as exc:
+        raise ValueError(f"malformed power key {power_key!r}: {exc}") from None
     raise ValueError(
         f"unknown power key {power_key!r}; expected 'continuous', "
-        f"'fixed-<cycles>', 'trace-a' or 'trace-b'"
+        f"'fixed-<cycles>', 'trace-a', 'trace-b', "
+        f"'sudden-drop-<base>-<every>-<drop>' or 'schedule-<d1>-<d2>-...'"
     )
+
+
+def supply_key(power: PowerSupply) -> str:
+    """A stable cell key for an arbitrary supply object.
+
+    Supplies whose ``name`` is a canonical key (every built-in model)
+    key under it, so results unify with key-addressed cells.  Anonymous
+    custom supplies get a content hash of their class and constructor
+    state — two *distinct* custom supplies can never collide, while two
+    identically-parameterised instances share one key (they produce the
+    same deterministic on-duration sequence).
+    """
+    name = getattr(power, "name", "")
+    if name:
+        try:
+            rebuilt = power_from_key(name)
+        except ValueError:
+            rebuilt = None
+        # Only trust the name when it genuinely round-trips: same class,
+        # same constructor state (a subclass inheriting a canonical name
+        # must not alias the built-in supply's results).
+        if (
+            rebuilt is not None
+            and type(rebuilt) is type(power)
+            and vars(rebuilt) == vars(power)
+        ):
+            return name
+        if name == "continuous" and type(power) is ContinuousPower:
+            return name
+    state = ",".join(
+        f"{attr}={value!r}"
+        for attr, value in sorted(vars(power).items())
+        if attr != "name"
+    )
+    blob = f"{type(power).__qualname__}({state})"
+    return "custom-" + hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 def default_jobs() -> int:
@@ -152,16 +216,53 @@ def _execute_cell(cell: Cell, war_check: bool, cache=None) -> RunResult:
 _worker_caches: Dict[Optional[str], CompileCache] = {}
 
 
+def worker_cache(cache_dir: Optional[str], use_disk: bool):
+    """Resolve a pool worker's cache policy (shared per directory).
+
+    Returns ``False`` (caching disabled) or a :class:`CompileCache`
+    pinned to ``cache_dir``; the instance persists in the worker process
+    so its in-memory layer serves every payload the worker executes.
+    Also used by the fault-injection campaign workers
+    (:mod:`repro.faultinject.campaign`).
+    """
+    if not use_disk:
+        return False
+    cache = _worker_caches.get(cache_dir)
+    if cache is None:
+        cache = CompileCache(cache_dir)
+        _worker_caches[cache_dir] = cache
+    return cache
+
+
 def _pool_worker(payload: Tuple[Cell, bool, Optional[str], bool]) -> RunResult:
     cell, war_check, cache_dir, use_disk = payload
-    if not use_disk:
-        cache = False
-    else:
-        cache = _worker_caches.get(cache_dir)
-        if cache is None:
-            cache = CompileCache(cache_dir)
-            _worker_caches[cache_dir] = cache
-    return _execute_cell(cell, war_check, cache)
+    return _execute_cell(cell, war_check, worker_cache(cache_dir, use_disk))
+
+
+def map_ordered(
+    worker: Callable,
+    payloads: Sequence,
+    jobs: Optional[int] = None,
+) -> List:
+    """Run picklable payloads through a module-level worker function.
+
+    Results come back **in submission order** regardless of completion
+    order, so consumers are byte-identical across ``jobs`` settings.
+    ``jobs=1`` (or a single payload) runs serially in-process — no
+    executor, no pickling.  This is the one fan-out primitive shared by
+    the figure runner and the fault-injection campaign engine.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, min(jobs, len(payloads)))
+    if jobs == 1:
+        return [worker(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # executor.map preserves submission order: deterministic merge
+        return list(pool.map(worker, payloads))
 
 
 CellLike = Union[Cell, Sequence]
@@ -219,9 +320,11 @@ class ExperimentRunner:
         power_key: Optional[str] = None,
     ) -> RunResult:
         if power is not None and power_key is None:
-            # derive the memo key from the supply's name; custom supplies
-            # still memoise in-process under it
-            power_key = getattr(power, "name", None) or "custom"
+            # derive the memo key from the supply's class + parameters
+            # (:func:`supply_key`): canonical supplies unify with their
+            # key-addressed cells, anonymous custom supplies get a
+            # content hash — two distinct supplies never collide
+            power_key = supply_key(power)
         cell = self._cell(bench_name, env, unroll_factor, power_key)
         result = self._results.get(cell)
         if result is not None:
@@ -280,10 +383,8 @@ class ExperimentRunner:
         use_disk = store is not None
         cache_dir = store.directory if use_disk else None
         payloads = [(cell, self.war_check, cache_dir, use_disk) for cell in ordered]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            # executor.map preserves submission order: deterministic merge
-            for cell, result in zip(ordered, pool.map(_pool_worker, payloads)):
-                self._results[cell] = result
+        for cell, result in zip(ordered, map_ordered(_pool_worker, payloads, jobs)):
+            self._results[cell] = result
 
     # -- convenience -----------------------------------------------------
     def cycles(self, bench_name: str, env: str) -> int:

@@ -1,0 +1,416 @@
+"""Campaign execution: harvest → plan → replay → certify → shrink.
+
+A *campaign* sweeps (benchmark × environment) pairs.  For each pair it
+runs the compiled program once under continuous power — the **oracle** —
+recording the final NVM image digest, the declared benchmark outputs,
+the dynamic WAR verdict, and the event map; plans a deterministic
+schedule set (:mod:`repro.faultinject.plan`); replays every schedule via
+:class:`~repro.emulator.power.SchedulePower`; and certifies each replay
+**differentially**: final memory, outputs, and WAR verdict must match
+the oracle.  Any failing schedule is shrunk to a minimal failure-point
+subsequence before it is reported.
+
+Execution reuses the parallel evaluation engine of PR 4: cells fan out
+over :func:`repro.eval.runner.map_ordered` (``--jobs`` /
+``REPRO_JOBS``), every worker shares the content-addressed
+:mod:`repro.cache`, and both oracle records and cell outcomes are
+persisted under ``inject-`` keys — so campaigns are resumable (an
+interrupted campaign replays completed cells from disk) and
+deterministic across repetition and worker counts (results merge in
+submission order; planning never depends on execution).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Optional, Tuple, Union
+
+from ..benchsuite import BENCHMARKS, compile_benchmark, get_benchmark
+from ..cache import inject_key, resolve_cache
+from ..core.pipeline import EnvironmentConfig, environment
+from ..emulator import (
+    DEFAULT_COSTS,
+    EmulationError,
+    EventTrace,
+    Machine,
+    NoForwardProgress,
+    SchedulePower,
+)
+from ..eval.runner import _worker_caches, map_ordered, worker_cache
+from .plan import PlanConfig, Schedule, plan_schedules
+
+Env = Union[str, EnvironmentConfig]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign: which pairs to sweep and how hard to try."""
+
+    benches: Tuple[str, ...]
+    envs: Tuple[Env, ...]
+    seed: int = 0
+    event_cap: int = 6
+    interior_points: int = 8
+    post_restore: int = 2
+    max_schedules: int = 0          #: per-pair cap (0 = unlimited)
+    jobs: Optional[int] = None      #: worker processes (None = default)
+
+
+def full_config(**overrides) -> CampaignConfig:
+    """The six-benchmark suite under ``wario`` and ``ratchet``."""
+    defaults = dict(benches=tuple(BENCHMARKS), envs=("wario", "ratchet"))
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def quick_config(**overrides) -> CampaignConfig:
+    """The CI-sized smoke campaign: two benchmarks, tiny budgets."""
+    defaults = dict(
+        benches=("crc", "sha"),
+        envs=("wario", "ratchet"),
+        event_cap=2,
+        interior_points=2,
+        post_restore=1,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def env_name(env: Env) -> str:
+    return env if isinstance(env, str) else env.name
+
+
+def _pair_seed(seed: int, bench: str, env: Env) -> int:
+    """A stable per-pair RNG seed (sha256, not the randomised hash())."""
+    blob = f"{seed}:{bench}:{env_name(env)}:{environment(env)!r}"
+    return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:8], "big")
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OracleRecord:
+    """The continuous-power ground truth of one (bench, env) pair."""
+
+    memory_digest: str
+    outputs_ok: bool
+    war_clean: bool
+    instructions: int
+    cycles: int
+    checkpoints: int
+    #: harvested event map, ``(kind, cycle, pc, detail)`` tuples
+    events: List[Tuple[str, int, int, str]] = field(default_factory=list)
+
+
+@dataclass
+class CellOutcome:
+    """One schedule replay, before differential judgment."""
+
+    schedule: Schedule
+    memory_digest: str = ""
+    outputs_ok: bool = False
+    war_violations: int = 0
+    halted: bool = False
+    error: str = ""                  #: emulator abort, "" on completion
+    instructions: int = 0
+    cycles: int = 0
+    checkpoints: int = 0
+    power_failures: int = 0
+    boot_cycles: int = 0
+    reexecuted_cycles: int = 0
+
+
+#: cell verdicts, in decreasing severity order
+VERDICTS = ("error", "starved", "war", "divergent-memory",
+            "divergent-output", "pass")
+
+
+@dataclass
+class Judged:
+    """A cell outcome plus its differential verdict."""
+
+    outcome: CellOutcome
+    verdict: str
+    reason: str = ""
+    #: minimal failing subsequence (failing cells only)
+    shrunk: Optional[Schedule] = None
+
+
+@dataclass
+class PairResult:
+    """Everything the campaign learned about one (bench, env) pair."""
+
+    bench: str
+    env: str
+    oracle: OracleRecord
+    judged: List[Judged] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Judged]:
+        return [j for j in self.judged if j.verdict != "pass"]
+
+    @property
+    def oracle_clean(self) -> bool:
+        return self.oracle.outputs_ok and self.oracle.war_clean
+
+    @property
+    def certified(self) -> bool:
+        return self.oracle_clean and not self.findings
+
+
+# ---------------------------------------------------------------------------
+# Cell execution (module-level so pool workers can pickle it)
+# ---------------------------------------------------------------------------
+
+
+def _outputs_match(bench, machine: Machine) -> bool:
+    expected = bench.expected()
+    for output in bench.outputs:
+        got = machine.read_global(
+            output.name, output.count, output.size, output.signed
+        )
+        if got != expected[output.name]:
+            return False
+    return True
+
+
+def _execute_oracle(bench_name: str, env: Env, cache=None) -> OracleRecord:
+    """One continuous-power run with event tracing (disk-cached)."""
+    bench = get_benchmark(bench_name)
+    program = compile_benchmark(bench, env, None, cache=cache)
+    store = resolve_cache(cache)
+    key = None
+    if store is not None and program.cache_key:
+        key = inject_key(program.cache_key, (), True,
+                         bench.max_instructions, repr(DEFAULT_COSTS))
+        hit = store.get(key)
+        if hit is not None:
+            return hit
+    trace = EventTrace()
+    machine = Machine(program, war_check=True, trace=trace)
+    stats = machine.run(max_instructions=bench.max_instructions)
+    record = OracleRecord(
+        memory_digest=hashlib.sha256(machine.memory).hexdigest(),
+        outputs_ok=_outputs_match(bench, machine),
+        war_clean=machine.war.clean,
+        instructions=stats.instructions,
+        cycles=stats.cycles,
+        checkpoints=stats.checkpoints,
+        events=trace.as_tuples(),
+    )
+    if key is not None:
+        store.put(key, record)
+    return record
+
+
+def _execute_schedule(
+    bench_name: str, env: Env, schedule: Schedule, cache=None
+) -> CellOutcome:
+    """Replay one failure schedule (disk-cached under its inject key)."""
+    bench = get_benchmark(bench_name)
+    program = compile_benchmark(bench, env, None, cache=cache)
+    store = resolve_cache(cache)
+    key = None
+    if store is not None and program.cache_key:
+        key = inject_key(program.cache_key, schedule, True,
+                         bench.max_instructions, repr(DEFAULT_COSTS))
+        hit = store.get(key)
+        if hit is not None:
+            return hit
+    machine = Machine(program, war_check=True)
+    error = ""
+    try:
+        stats = machine.run(
+            power=SchedulePower(schedule),
+            max_instructions=bench.max_instructions,
+        )
+    except NoForwardProgress as exc:
+        error = f"NoForwardProgress: {exc}"
+        stats = machine.stats
+    except EmulationError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        stats = machine.stats
+    outcome = CellOutcome(
+        schedule=tuple(schedule),
+        memory_digest=(
+            "" if error else hashlib.sha256(machine.memory).hexdigest()
+        ),
+        outputs_ok=False if error else _outputs_match(bench, machine),
+        war_violations=len(machine.war.violations),
+        halted=stats.halted,
+        error=error,
+        instructions=stats.instructions,
+        cycles=stats.cycles,
+        checkpoints=stats.checkpoints,
+        power_failures=stats.power_failures,
+        boot_cycles=stats.boot_cycles,
+        reexecuted_cycles=stats.reexecuted_cycles,
+    )
+    if key is not None:
+        store.put(key, outcome)
+    return outcome
+
+
+def _oracle_worker(payload) -> OracleRecord:
+    bench_name, env, cache_dir, use_disk = payload
+    return _execute_oracle(bench_name, env, worker_cache(cache_dir, use_disk))
+
+
+def _cell_worker(payload) -> CellOutcome:
+    bench_name, env, schedule, cache_dir, use_disk = payload
+    return _execute_schedule(
+        bench_name, env, schedule, worker_cache(cache_dir, use_disk)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Differential certification + shrinking
+# ---------------------------------------------------------------------------
+
+
+def certify_outcome(
+    outcome: CellOutcome, oracle: OracleRecord
+) -> Tuple[str, str]:
+    """Judge one replay against the oracle → ``(verdict, reason)``."""
+    if outcome.error:
+        if outcome.error.startswith("NoForwardProgress"):
+            return "starved", outcome.error
+        return "error", outcome.error
+    if outcome.war_violations and oracle.war_clean:
+        return (
+            "war",
+            f"{outcome.war_violations} dynamic WAR violations "
+            f"(the continuous-power oracle is clean)",
+        )
+    if outcome.memory_digest != oracle.memory_digest:
+        return (
+            "divergent-memory",
+            "final NVM image diverges from the continuous-power oracle",
+        )
+    if not outcome.outputs_ok:
+        return (
+            "divergent-output",
+            "declared outputs diverge from the reference results",
+        )
+    return "pass", ""
+
+
+def shrink_schedule(
+    bench_name: str,
+    env: Env,
+    schedule: Schedule,
+    oracle: OracleRecord,
+    cache=None,
+) -> Schedule:
+    """Minimise a failing schedule to a smallest failing subsequence.
+
+    Tries every proper subsequence in increasing size (lexicographic
+    within a size — deterministic), re-replaying each through the cell
+    cache, and returns the first one that still fails; planned schedules
+    have at most a handful of points, so this exhaustive ddmin is cheap.
+    The empty subsequence is the oracle itself and passes by definition.
+    """
+    if len(schedule) <= 1:
+        return tuple(schedule)
+    for size in range(1, len(schedule)):
+        for picked in combinations(range(len(schedule)), size):
+            candidate = tuple(schedule[i] for i in picked)
+            outcome = _execute_schedule(bench_name, env, candidate, cache)
+            if certify_outcome(outcome, oracle)[0] != "pass":
+                return candidate
+    return tuple(schedule)
+
+
+# ---------------------------------------------------------------------------
+# The campaign driver
+# ---------------------------------------------------------------------------
+
+
+def run_campaign(config: CampaignConfig, cache=None):
+    """Run a full campaign; returns a
+    :class:`~repro.faultinject.report.CampaignReport`.
+
+    ``cache`` follows :func:`repro.cache.resolve_cache` (``None`` —
+    process-wide disk cache, ``False`` — no caching, instance — pinned
+    directory).  All phases are deterministic functions of ``config``
+    and the toolchain, so repeated invocations — including after an
+    interruption, or with a different ``jobs`` — produce identical
+    reports, with completed cells replayed from the cache.
+    """
+    from .report import CampaignReport
+
+    store = resolve_cache(cache)
+    use_disk = store is not None
+    cache_dir = store.directory if use_disk else None
+    if use_disk:
+        # the serial (jobs=1) path runs workers in-process: point them
+        # at the caller's instance so its memory layer and counters see
+        # every cell
+        _worker_caches[cache_dir] = store
+    pairs = [(bench, env) for bench in config.benches for env in config.envs]
+
+    # Phase 1 — continuous-power oracles + event maps, in parallel.
+    oracles = map_ordered(
+        _oracle_worker,
+        [(bench, env, cache_dir, use_disk) for bench, env in pairs],
+        config.jobs,
+    )
+
+    # Phase 2 — plan every pair's schedule set (pure, deterministic).
+    plans: List[List[Schedule]] = []
+    for (bench, env), oracle in zip(pairs, oracles):
+        plan = plan_schedules(
+            oracle.events,
+            oracle.cycles,
+            DEFAULT_COSTS,
+            PlanConfig(
+                seed=_pair_seed(config.seed, bench, env),
+                event_cap=config.event_cap,
+                interior_points=config.interior_points,
+                post_restore=config.post_restore,
+                max_schedules=config.max_schedules,
+            ),
+        )
+        plans.append(plan)
+
+    # Phase 3 — replay every cell of every pair through one flat fan-out.
+    payloads = [
+        (bench, env, schedule, cache_dir, use_disk)
+        for (bench, env), plan in zip(pairs, plans)
+        for schedule in plan
+    ]
+    outcomes = map_ordered(_cell_worker, payloads, config.jobs)
+
+    # Phase 4 — certify differentially, shrink the failures.
+    results: List[PairResult] = []
+    cursor = 0
+    for (bench, env), oracle, plan in zip(pairs, oracles, plans):
+        judged: List[Judged] = []
+        for schedule in plan:
+            outcome = outcomes[cursor]
+            cursor += 1
+            verdict, reason = certify_outcome(outcome, oracle)
+            entry = Judged(outcome, verdict, reason)
+            if verdict != "pass":
+                entry.shrunk = shrink_schedule(
+                    bench, env, outcome.schedule, oracle,
+                    store if store is not None else False,
+                )
+            judged.append(entry)
+        results.append(
+            PairResult(bench=bench, env=env_name(env), oracle=oracle,
+                       judged=judged)
+        )
+    return CampaignReport(config=config, pairs=results)
+
+
+__all__ = [
+    "CampaignConfig", "CellOutcome", "Judged", "OracleRecord",
+    "PairResult", "VERDICTS", "certify_outcome", "env_name",
+    "full_config", "quick_config", "run_campaign", "shrink_schedule",
+]

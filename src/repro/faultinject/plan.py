@@ -1,0 +1,150 @@
+"""Failure-schedule planning: aim power failures at dangerous instants.
+
+The planner turns a harvested event map (see
+:class:`~repro.emulator.events.EventTrace`) into a deterministic list of
+*failure schedules*.  A schedule is a tuple of power-on durations for
+:class:`~repro.emulator.power.SchedulePower`: each duration ends in a
+power failure, and after the last one the supply is continuous, so the
+run always terminates and can be certified against the oracle.
+
+Targets, per Surbatovich et al.'s boundary-case taxonomy:
+
+* ``checkpoint`` events — failures immediately before the commit, inside
+  the commit window (the ``checkpoint_cycles`` the runtime spends
+  double-buffering), and immediately after it;
+* ``war-write`` events — failures right before and right after the first
+  NVM store of an idempotent region (the earliest instant at which
+  re-execution is no longer trivially safe);
+* ``war-violation`` events (only present for seeded-fault builds) — the
+  store the dynamic checker flagged, bracketed tightly;
+* ``mask`` / ``unmask`` events — failures inside the interrupt-masked
+  epilogue window of the WARio frame-release protocol;
+* *post-restore doubles* — two-point schedules whose second failure
+  lands δ cycles after the restore completes (the restored WAR write);
+* *interior points* — a seeded budget of log-uniform offsets across the
+  whole execution, so coverage is not limited to what was harvested.
+
+Everything is deterministic: event subsampling is evenly spaced, the
+interior RNG is seeded from the campaign seed, and the final schedule
+list is deduplicated and sorted — the same event map and configuration
+always plan the same campaign, regardless of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..emulator.costs import CostModel
+
+#: a failure schedule: power-on durations, each ending in a failure
+Schedule = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Budget knobs of one campaign plan (per benchmark × environment)."""
+
+    seed: int = 0
+    #: max targeted events per kind (evenly spaced over the trace)
+    event_cap: int = 6
+    #: budget of log-uniform interior failure points
+    interior_points: int = 8
+    #: post-restore double-failure schedules per targeted kind
+    post_restore: int = 2
+    #: hard cap on the total number of schedules (None = unlimited)
+    max_schedules: int = 0  # 0 = unlimited
+
+
+def _subsample(events: Sequence, cap: int) -> List:
+    """At most ``cap`` events, evenly spaced, deterministically."""
+    if cap <= 0 or len(events) <= cap:
+        return list(events)
+    return [events[(i * len(events)) // cap] for i in range(cap)]
+
+
+def _offsets_for(kind: str, costs: CostModel) -> Tuple[int, ...]:
+    """Failure offsets around an event's pre-cost cycle ``c``.
+
+    A period of ``c + off`` cycles fails the first instruction whose
+    cost would cross that boundary, so ``-1`` fires just before the
+    event instruction and ``+cost+1`` just after it completes.
+    """
+    ckpt = costs.checkpoint_cycles
+    if kind == "checkpoint":
+        # before the commit, mid-commit (the double-buffer window), and
+        # right after the commit became the active snapshot
+        return (-1, 1 + ckpt // 2, ckpt + 1)
+    if kind in ("war-write", "war-violation"):
+        # stores cost 2 cycles: -1 is before the store, +3 right after
+        return (-1, 3)
+    if kind == "mask":
+        return (-1, 1)
+    if kind == "unmask":
+        return (-1, 2)
+    return (-1, 1)
+
+
+#: kinds whose events get dedicated double (post-restore) schedules
+_DOUBLE_KINDS = ("checkpoint", "war-write", "war-violation")
+#: kinds the single-point targeting loop walks, in deterministic order
+_TARGET_KINDS = ("checkpoint", "war-write", "war-violation", "mask", "unmask")
+
+
+def plan_schedules(
+    events: Iterable[Tuple[str, int, int, str]],
+    total_cycles: int,
+    costs: CostModel,
+    config: PlanConfig = PlanConfig(),
+) -> List[Schedule]:
+    """Plan the deterministic failure campaign for one execution.
+
+    ``events`` is the harvested trace (``(kind, cycle, pc, detail)``
+    tuples), ``total_cycles`` the oracle's continuous-power cycle count.
+    Returns schedules sorted by (length, durations) with duplicates
+    removed.
+    """
+    by_kind: Dict[str, List[Tuple[str, int, int, str]]] = {}
+    for event in events:
+        by_kind.setdefault(event[0], []).append(tuple(event))
+
+    boot = costs.boot_cycles + costs.restore_cycles
+    schedules = set()
+
+    # -- single failures aimed at each targeted event ±ε -----------------
+    for kind in _TARGET_KINDS:
+        picked = _subsample(by_kind.get(kind, []), config.event_cap)
+        for _, cycle, _pc, _detail in picked:
+            for off in _offsets_for(kind, costs):
+                schedules.add((max(1, cycle + off),))
+
+    # -- post-restore doubles: fail again δ cycles after the restore -----
+    # The second period must cover boot + restore or the emulator counts
+    # it as a dead period; δ=1 fires the very first re-executed
+    # instruction, δ=checkpoint_cycles+1 reaches just past a re-executed
+    # commit (the "immediately after a restored WAR write" case).
+    deltas = (1, costs.checkpoint_cycles + 1)
+    for kind in _DOUBLE_KINDS:
+        picked = _subsample(by_kind.get(kind, []), config.post_restore)
+        lead = 3 if kind.startswith("war") else costs.checkpoint_cycles + 1
+        for _, cycle, _pc, _detail in picked:
+            for delta in deltas:
+                schedules.add((max(1, cycle + lead), boot + delta))
+
+    # -- budgeted log-uniform interior points ----------------------------
+    hi = max(2, total_cycles - 1)
+    rng = random.Random(config.seed)
+    lo_log, hi_log = math.log(1.5), math.log(hi)
+    for _ in range(config.interior_points):
+        point = int(math.exp(rng.uniform(lo_log, hi_log)))
+        schedules.add((min(max(1, point), hi),))
+
+    ordered = sorted(schedules, key=lambda s: (len(s), s))
+    if config.max_schedules:
+        ordered = ordered[: config.max_schedules]
+    return ordered
+
+
+__all__ = ["PlanConfig", "Schedule", "plan_schedules"]

@@ -7,6 +7,7 @@ from helpers import compile_and_run
 
 from repro import FixedPeriodPower, Machine, iclang, trace_a, trace_b
 from repro.emulator import (
+    DEFAULT_COSTS,
     ContinuousPower,
     CostModel,
     EmulationLimit,
@@ -158,6 +159,23 @@ class TestIntermittentPower:
         machine = Machine(program, cost_model=cm)
         with pytest.raises((NoForwardProgress, EmulationLimit)):
             machine.run(power=FixedPeriodPower(120), max_instructions=500_000)
+
+    def test_power_starvation_raises_in_both_interpreters(self):
+        # Every on-period shorter than boot + restore is a dead period:
+        # the machine can never recover, and both interpreters must give
+        # up identically (same exception, same stats at the raise).
+        program = iclang(SRC_LOOP, "wario")
+        boot = DEFAULT_COSTS.boot_cycles + DEFAULT_COSTS.restore_cycles
+        outcomes = []
+        for fast in (True, False):
+            machine = Machine(program, fast_interp=fast)
+            with pytest.raises(NoForwardProgress, match="boot"):
+                machine.run(power=FixedPeriodPower(boot // 2))
+            stats = machine.stats
+            outcomes.append((stats.instructions, stats.cycles,
+                             stats.power_failures, stats.checkpoints))
+            assert stats.power_failures > 10_000   # the dead-period counter
+        assert outcomes[0] == outcomes[1]
 
     def test_intermittent_costs_more_cycles(self):
         cm = CostModel(boot_cycles=50)

@@ -1,0 +1,306 @@
+"""The fault-injection campaign engine (repro.faultinject)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS, compile_benchmark
+from repro.cache import CompileCache
+from repro.core.pipeline import ENVIRONMENTS
+from repro.emulator import (
+    DEFAULT_COSTS,
+    EVENT_KINDS,
+    ContinuousPower,
+    EventTrace,
+    FixedPeriodPower,
+    Machine,
+    PowerSupply,
+    SchedulePower,
+    SuddenDropPower,
+)
+from repro.eval.runner import power_from_key, supply_key
+from repro.faultinject import (
+    CampaignConfig,
+    PlanConfig,
+    plan_schedules,
+    run_campaign,
+)
+from repro.faultinject.campaign import _execute_oracle, _execute_schedule
+
+
+# ---------------------------------------------------------------------------
+# SchedulePower
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_power_replays_then_goes_continuous():
+    supply = SchedulePower([100, 2000])
+    it = supply.on_durations()
+    assert next(it) == 100
+    assert next(it) == 2000
+    assert next(it) > 10**9      # effectively continuous tail
+    assert next(it) > 10**9
+    assert supply.name == "schedule-100-2000"
+
+
+def test_schedule_power_rejects_bad_durations():
+    with pytest.raises(ValueError):
+        SchedulePower([])
+    with pytest.raises(ValueError):
+        SchedulePower([100, 0])
+    with pytest.raises(ValueError):
+        SchedulePower([-5])
+
+
+# ---------------------------------------------------------------------------
+# Power keys (satellites: sudden-drop key + supply_key)
+# ---------------------------------------------------------------------------
+
+
+def test_sudden_drop_key_round_trips():
+    supply = SuddenDropPower(50_000, drop_every=3, drop_cycles=800)
+    assert supply.name == "sudden-drop-50000-3-800"
+    rebuilt = power_from_key(supply.name)
+    assert isinstance(rebuilt, SuddenDropPower)
+    assert vars(rebuilt) == vars(supply)
+    assert supply_key(supply) == supply.name
+
+
+def test_schedule_key_round_trips():
+    supply = SchedulePower((123, 1041))
+    rebuilt = power_from_key(supply.name)
+    assert isinstance(rebuilt, SchedulePower)
+    assert rebuilt.durations == (123, 1041)
+    assert supply_key(supply) == "schedule-123-1041"
+
+
+def test_malformed_parameterised_keys_rejected():
+    for bad in ("sudden-drop-50000-3", "sudden-drop-a-b-c", "schedule-",
+                "schedule-10-x"):
+        with pytest.raises(ValueError):
+            power_from_key(bad)
+
+
+def test_supply_key_for_builtin_supplies():
+    assert supply_key(ContinuousPower()) == "continuous"
+    assert supply_key(FixedPeriodPower(50_000)) == "fixed-50000"
+    for key in ("fixed-50000", "trace-a", "trace-b",
+                "sudden-drop-50000-3-800", "schedule-100-1041"):
+        assert supply_key(power_from_key(key)) == key
+
+
+def test_supply_key_hashes_anonymous_custom_supplies():
+    class Custom(PowerSupply):
+        def __init__(self, period):
+            self.period = period
+            self.name = "custom"
+
+        def on_durations(self):
+            while True:
+                yield self.period
+
+    a, b, c = Custom(100), Custom(200), Custom(100)
+    assert supply_key(a).startswith("custom-")
+    assert supply_key(a) != supply_key(b)      # distinct params, distinct keys
+    assert supply_key(a) == supply_key(c)      # same params share the cell
+
+
+def test_supply_key_does_not_let_subclasses_alias_builtins():
+    class Lying(FixedPeriodPower):
+        def on_durations(self):
+            yield 1
+            while True:
+                yield 1 << 62
+
+    impostor = Lying(50_000)                    # inherits name "fixed-50000"
+    assert supply_key(impostor) != "fixed-50000"
+    assert supply_key(impostor).startswith("custom-")
+
+
+# ---------------------------------------------------------------------------
+# Event harvesting
+# ---------------------------------------------------------------------------
+
+
+def _traced_run(fast_interp, power=None):
+    program = compile_benchmark(BENCHMARKS["crc"], "wario", None, cache=False)
+    trace = EventTrace()
+    machine = Machine(program, war_check=True, trace=trace,
+                      fast_interp=fast_interp)
+    stats = machine.run(power=power,
+                        max_instructions=BENCHMARKS["crc"].max_instructions)
+    return trace, stats
+
+
+def test_event_trace_requires_war_check():
+    program = compile_benchmark(BENCHMARKS["crc"], "wario", None, cache=False)
+    with pytest.raises(ValueError):
+        Machine(program, war_check=False, trace=EventTrace())
+
+
+def test_oracle_harvest_records_checkpoints_and_windows():
+    trace, stats = _traced_run(fast_interp=True)
+    kinds = {e.kind for e in trace.events}
+    assert kinds <= set(EVENT_KINDS)
+    checkpoints = trace.of_kind("checkpoint")
+    assert len(checkpoints) == stats.checkpoints
+    assert not trace.of_kind("restore")        # continuous power: no restores
+    assert trace.of_kind("war-write")          # each region's first NVM store
+    # events arrive in execution order
+    cycles = [e.cycle for e in trace.events]
+    assert cycles == sorted(cycles)
+
+
+@pytest.mark.parametrize("power_key", [None, "schedule-5000-2000-3000"])
+def test_event_trace_is_interpreter_independent(power_key):
+    power = power_from_key(power_key) if power_key else None
+    fast, fast_stats = _traced_run(True, power)
+    power = power_from_key(power_key) if power_key else None
+    ref, ref_stats = _traced_run(False, power)
+    assert fast.as_tuples() == ref.as_tuples()
+    assert fast_stats.cycles == ref_stats.cycles
+    if power_key:
+        assert fast.of_kind("restore")         # the schedule really fired
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+_EVENTS = [
+    ("checkpoint", 1000, 4, "explicit"),
+    ("checkpoint", 5000, 8, "explicit"),
+    ("war-write", 1500, 12, ""),
+    ("mask", 7000, 16, ""),
+    ("unmask", 7040, 20, ""),
+]
+
+
+def test_planner_is_deterministic_and_sorted():
+    config = PlanConfig(seed=7, event_cap=4, interior_points=6)
+    a = plan_schedules(_EVENTS, 20_000, DEFAULT_COSTS, config)
+    b = plan_schedules(_EVENTS, 20_000, DEFAULT_COSTS, config)
+    assert a == b
+    assert a == sorted(a, key=lambda s: (len(s), s))
+    assert len(a) == len(set(a))                       # deduplicated
+    assert all(d > 0 for s in a for d in s)
+    # the seed only moves the interior points, never the targeted ones
+    c = plan_schedules(_EVENTS, 20_000, DEFAULT_COSTS, replace(config, seed=8))
+    assert c != a
+    targeted = {s for s in a if len(s) > 1}
+    assert targeted <= set(c)
+
+
+def test_planner_targets_every_event_kind():
+    plans = plan_schedules(_EVENTS, 20_000, DEFAULT_COSTS, PlanConfig())
+    singles = {s[0] for s in plans if len(s) == 1}
+    # ±ε around each harvested event cycle
+    for _, cycle, _, _ in _EVENTS:
+        assert any(abs(point - cycle) <= 60 for point in singles), cycle
+    doubles = [s for s in plans if len(s) == 2]
+    assert doubles                                     # post-restore failures
+    boot = DEFAULT_COSTS.boot_cycles + DEFAULT_COSTS.restore_cycles
+    assert all(s[1] > boot for s in doubles)
+
+
+def test_planner_honours_budget_cap():
+    capped = plan_schedules(
+        _EVENTS, 20_000, DEFAULT_COSTS, PlanConfig(max_schedules=5)
+    )
+    assert len(capped) == 5
+
+
+# ---------------------------------------------------------------------------
+# Campaign end to end
+# ---------------------------------------------------------------------------
+
+
+_QUICK = dict(event_cap=2, interior_points=2, post_restore=1, jobs=1)
+
+
+def test_campaign_certifies_a_war_free_pair():
+    config = CampaignConfig(benches=("crc",), envs=("wario",), **_QUICK)
+    report = run_campaign(config, cache=False)
+    assert report.certified
+    assert report.cells > 10
+    (pair,) = report.pairs
+    assert pair.oracle.war_clean and pair.oracle.outputs_ok
+    assert all(j.verdict == "pass" for j in pair.judged)
+    # every replay recovered: it failed, rebooted, and re-executed
+    for judged in pair.judged:
+        assert judged.outcome.power_failures >= len(judged.outcome.schedule)
+        assert judged.outcome.instructions >= pair.oracle.instructions
+
+
+def test_campaign_report_is_deterministic_across_jobs(tmp_path):
+    config = CampaignConfig(benches=("crc",), envs=("wario",), **_QUICK)
+    serial = run_campaign(config, cache=CompileCache(str(tmp_path / "a")))
+    pooled = run_campaign(
+        replace(config, jobs=2), cache=CompileCache(str(tmp_path / "b"))
+    )
+    assert serial.to_json() == pooled.to_json()
+
+
+def test_campaign_resumes_from_the_cell_cache(tmp_path):
+    config = CampaignConfig(benches=("crc",), envs=("wario",), **_QUICK)
+    first = CompileCache(str(tmp_path))
+    cold = run_campaign(config, cache=first)
+    assert first.stores > 0
+    second = CompileCache(str(tmp_path))     # fresh instance, same directory
+    warm = run_campaign(config, cache=second)
+    assert second.stores == 0                # every cell replayed from disk
+    assert second.hits > 0
+    assert cold.to_json() == warm.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Mutation: a seeded consistency bug must be caught and shrunk
+# ---------------------------------------------------------------------------
+
+
+def _mutant_env():
+    return replace(ENVIRONMENTS["wario"], name="wario-mutant",
+                   drop_checkpoint=0)
+
+
+def test_drop_checkpoint_rejects_out_of_range_index():
+    env = replace(ENVIRONMENTS["wario"], name="wario-mutant",
+                  drop_checkpoint=10_000)
+    with pytest.raises(ValueError, match="drop_checkpoint"):
+        compile_benchmark(BENCHMARKS["crc"], env, None, cache=False)
+
+
+def test_campaign_catches_and_shrinks_a_dropped_checkpoint():
+    env = _mutant_env()
+    oracle = _execute_oracle("crc", env, cache=False)
+    # the dynamic checker already sees the bug under continuous power ...
+    assert not oracle.war_clean
+    assert any(kind == "war-violation" for kind, _, _, _ in oracle.events)
+
+    config = CampaignConfig(
+        benches=("crc",), envs=(env,), event_cap=3, interior_points=2,
+        post_restore=1, jobs=1,
+    )
+    report = run_campaign(config, cache=False)
+    # ... and the campaign produces *concrete* divergent executions
+    assert not report.certified
+    findings = report.findings
+    assert findings
+    assert {j.verdict for j in findings} == {"divergent-memory"}
+    for judged in findings:
+        assert judged.shrunk is not None
+        assert 1 <= len(judged.shrunk) <= 2
+        # the shrunk schedule still fails on its own
+        outcome = _execute_schedule("crc", env, judged.shrunk, cache=False)
+        assert outcome.memory_digest != oracle.memory_digest
+    # at least one two-point schedule shrank to a single failure point
+    assert any(len(j.outcome.schedule) == 2 and len(j.shrunk) == 1
+               for j in findings)
+    # findings surface as campaign-level diagnostics
+    diags = report.diagnostics()
+    assert len(diags) == len(findings)
+    assert all(d.level == "campaign" and d.code == "inject-divergent-memory"
+               for d in diags)
