@@ -41,7 +41,7 @@ from .core.lint import (
     lint_benchmarks,
     lint_sources,
 )
-from .diagnostics import render_json
+from .diagnostics import render_json, render_sarif
 from .emulator import (
     ContinuousPower,
     EmulationError,
@@ -84,14 +84,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--max-instructions", type=int, default=50_000_000)
 
     lint_p = sub.add_parser(
-        "lint", help="statically certify WAR-freedom (IR + machine IR)"
+        "lint",
+        help="statically certify WAR-freedom and per-region idempotence",
     )
     lint_p.add_argument("sources", nargs="*", help="mini-C source files")
     lint_p.add_argument("--benchmark", default=None, metavar="NAME",
                         help="lint a benchsuite program instead of files "
                              "('all' for the whole suite)")
     lint_p.add_argument("--env", default="wario")
-    lint_p.add_argument("--format", choices=("text", "json"), default="text")
+    lint_p.add_argument("--level", choices=("ir", "mir", "full"),
+                        default="full",
+                        help="certification depth: 'ir' middle-end WAR "
+                             "verifier only, 'mir' adds the back-end stack "
+                             "verifiers, 'full' adds the idempotence "
+                             "certifier (default)")
+    lint_p.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    lint_p.add_argument("--certificates", default=None, metavar="PATH",
+                        help="write the per-function idempotence "
+                             "certificates (JSON) to PATH")
 
     analyze_p = sub.add_parser(
         "analyze",
@@ -131,6 +142,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(0 = unlimited)")
     inject_p.add_argument("--event-cap", type=int, default=None, metavar="N",
                           help="max targeted events per kind")
+    inject_p.add_argument("--differential", action="store_true",
+                          help="cross-validate the static idempotence "
+                               "certifier against the campaign over the "
+                               "same cells (clean matrix + seeded "
+                               "mutants); --quick selects the CI-sized "
+                               "cell set")
     inject_p.add_argument("--format", choices=("text", "json"),
                           default="text")
     inject_p.add_argument("-o", "--output", default=None,
@@ -226,21 +243,34 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     if bool(args.sources) == bool(args.benchmark):
         print("lint: pass either source files or --benchmark NAME",
               file=sys.stderr)
         return EXIT_COMPILE_FAILED
     try:
         if args.benchmark:
-            results = lint_benchmarks(args.benchmark, args.env)
+            results = lint_benchmarks(args.benchmark, args.env,
+                                      level=args.level)
         else:
             results = [lint_sources(_read_sources(args.sources), args.env,
-                                    name=args.sources[0])]
+                                    name=args.sources[0], level=args.level)]
     except Exception as exc:  # front/middle end rejected the program
         print(f"lint: compilation failed: {exc}", file=sys.stderr)
         return EXIT_COMPILE_FAILED
-    if args.format == "json":
-        diagnostics = [d for r in results for d in r.engine.diagnostics]
+    if args.certificates:
+        payload = [
+            {"program": r.name, "env": r.env, "certificates": r.certificates}
+            for r in results
+        ]
+        with open(args.certificates, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    diagnostics = [d for r in results for d in r.engine.diagnostics]
+    if args.format == "sarif":
+        print(render_sarif(diagnostics))
+    elif args.format == "json":
         # Deterministic order so CI diffs are stable across runs.
         diagnostics.sort(key=lambda d: (
             d.loc.file if d.loc is not None else "",
@@ -250,13 +280,18 @@ def _cmd_lint(args) -> int:
         print(render_json(diagnostics))
     else:
         for result in results:
-            verdict = (
-                "certified WAR-free" if result.certified
-                else result.engine.summary()
-            )
+            if result.certified:
+                verdict = (
+                    "certified idempotent" if result.level == "full"
+                    else "certified WAR-free"
+                )
+            else:
+                verdict = result.engine.summary()
             print(f"{result.name} [{result.env}]: {verdict}")
             if not result.engine.clean:
                 print(result.engine.render_text())
+        if args.certificates:
+            print(f"wrote {args.certificates}")
     clean = all(r.certified for r in results)
     return EXIT_CLEAN if clean else EXIT_ERRORS
 
@@ -414,6 +449,8 @@ def _cmd_envs(_args) -> int:
 
 
 def _cmd_inject(args) -> int:
+    if args.differential:
+        return _cmd_inject_differential(args)
     from .faultinject import full_config, quick_config, run_campaign
 
     overrides = {"seed": args.seed, "jobs": args.jobs,
@@ -429,6 +466,40 @@ def _cmd_inject(args) -> int:
         report = run_campaign(config)
     except Exception as exc:  # compile failure, unknown bench/env, ...
         print(f"inject: campaign failed: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+        if args.output:
+            print(f"wrote {args.output}")
+    return 0 if report.certified else 1
+
+
+def _cmd_inject_differential(args) -> int:
+    from .faultinject import (
+        full_differential_config,
+        quick_differential_config,
+        run_differential,
+    )
+
+    overrides = {"seed": args.seed, "jobs": args.jobs,
+                 "max_schedules": args.budget}
+    if args.event_cap is not None:
+        overrides["event_cap"] = args.event_cap
+    maker = (quick_differential_config if args.quick
+             else full_differential_config)
+    config = maker(**overrides)
+    if args.bench or args.env:
+        print("inject: --differential uses its built-in cell set; "
+              "--bench/--env are ignored", file=sys.stderr)
+    try:
+        report = run_differential(config)
+    except Exception as exc:
+        print(f"inject: differential run failed: {exc}", file=sys.stderr)
         return 2
     if args.output:
         with open(args.output, "w") as handle:

@@ -64,12 +64,9 @@ from ..diagnostics import (
 from ..ir.instructions import Call, Checkpoint, Load, Store
 from .alias import AliasAnalysis, PRECISE
 from .cfg import reverse_postorder
+from .dataflow import DataflowProblem, FW, BK, merge_flagged_facts, solve
 from .loops import LoopInfo, loop_info
 from .memdep import BACKWARD, FORWARD, access_size, summary_sets_intersect
-
-#: Path flags on an exposed-load fact.
-FW = 1   # reaches without crossing a back edge (same iteration)
-BK = 2   # crossed >= 1 loop back edge (later iteration)
 
 
 class StaticWARError(Exception):
@@ -157,22 +154,16 @@ def _is_barrier(instr, calls_are_checkpoints: bool, summaries=None) -> bool:
 #: or a Call standing in for "the callee may have read anything".
 State = Dict[int, Tuple[object, int]]
 
-
-def _merge(into: State, new: State) -> bool:
-    changed = False
-    for key, (instr, flags) in new.items():
-        old = into.get(key)
-        if old is None:
-            into[key] = (instr, flags)
-            changed = True
-        elif old[1] | flags != old[1]:
-            into[key] = (instr, old[1] | flags)
-            changed = True
-    return changed
+#: The join is the shared flagged-fact lattice from the dataflow engine.
+_merge = merge_flagged_facts
 
 
-class _FunctionWARAnalysis:
-    """One function's exposed-load dataflow plus the reporting pass."""
+class _FunctionWARAnalysis(DataflowProblem):
+    """One function's exposed-load dataflow plus the reporting pass.
+
+    A forward may-analysis on the shared engine: the in-state seed is
+    the empty fact map for every reachable block, facts union at joins,
+    and a back edge tags everything it carries with ``BK``."""
 
     def __init__(
         self,
@@ -284,24 +275,36 @@ class _FunctionWARAnalysis:
                 return BACKWARD
         return None
 
-    # -- fixpoint --------------------------------------------------------
+    # -- the dataflow problem (shared worklist engine) -------------------
+    def nodes(self):
+        return reverse_postorder(self.function)
+
+    def edges(self, block):
+        for succ in block.successors:
+            yield succ, (id(block), id(succ)) in self.back_edges
+
+    def initial(self, block) -> State:
+        return {}
+
+    def transfer(self, block, state: State) -> State:
+        return self._transfer_block(block, state)
+
+    def flow(self, out: State, block, succ, is_back: bool) -> State:
+        if is_back:
+            return {
+                key: (instr, flags | BK)
+                for key, (instr, flags) in out.items()
+            }
+        return out
+
+    def merge(self, existing: State, incoming: State, block) -> bool:
+        return _merge(existing, incoming)
+
     def run(self) -> None:
-        rpo = reverse_postorder(self.function)
-        changed = True
-        while changed:
-            changed = False
-            for block in rpo:
-                out = self._transfer_block(block, self.in_states[id(block)])
-                for succ in block.successors:
-                    if (id(block), id(succ)) in self.back_edges:
-                        flowed = {
-                            key: (instr, flags | BK)
-                            for key, (instr, flags) in out.items()
-                        }
-                    else:
-                        flowed = out
-                    if _merge(self.in_states[id(succ)], flowed):
-                        changed = True
+        # Unreachable blocks are not solved (no path reaches them) but
+        # the reporting pass still walks them with an empty in-state, so
+        # straight-line WARs inside dead code are still flagged.
+        self.in_states.update(solve(self))
 
     def report(self, reporter) -> None:
         for block in self.function.blocks:

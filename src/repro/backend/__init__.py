@@ -14,7 +14,7 @@ from typing import Optional
 from ..transforms.critedge import split_critical_edges
 from ..transforms.simplifycfg import simplify_cfg
 from .encoder import GLOBALS_BASE, HALT_ADDRESS, MEMORY_SIZE, STACK_TOP, Program, encode_module
-from .frame import EPILOGUE_STYLES, lower_frame
+from .frame import EPILOGUE_BUGS, EPILOGUE_STYLES, lower_frame
 from .isel import InstructionSelector
 from .mir import (
     MFunction,
@@ -39,6 +39,7 @@ def lower_module(
     entry_checkpoints: bool = False,
     verify: bool = False,
     transparent=None,
+    epilogue_bug: Optional[str] = None,
 ) -> MModule:
     """Lower an IR module to machine code.
 
@@ -56,6 +57,10 @@ def lower_module(
     and — when its lowered body still contains no checkpoint and takes
     no address of a slot — it keeps the cheap plain epilogue instead of
     the configured checkpointing style.
+
+    ``epilogue_bug`` (test-only, see :data:`repro.backend.frame.EPILOGUE_BUGS`)
+    seeds a deliberately broken epilogue lowering for certifier and
+    fault-injection mutation tests.
     """
     transparent = transparent or set()
     barrier_callees = None
@@ -95,6 +100,7 @@ def lower_module(
             epilogue_style="plain" if plain_epilogue else epilogue_style,
             entry_checkpoint=entry_checkpoints and not is_transparent,
             is_entry_function=(function.name == "main"),
+            epilogue_bug=None if plain_epilogue else epilogue_bug,
         )
         if verify:
             verify_mfunction(mfn, after_regalloc=True)
@@ -109,11 +115,12 @@ def compile_to_program(
     entry_checkpoints: bool = False,
     verify: bool = False,
     transparent=None,
+    epilogue_bug: Optional[str] = None,
 ) -> Program:
     """Lower and encode an IR module into an executable image."""
     mmodule = lower_module(
         ir_module, spill_checkpoint_mode, epilogue_style, entry_checkpoints,
-        verify=verify, transparent=transparent,
+        verify=verify, transparent=transparent, epilogue_bug=epilogue_bug,
     )
     return encode_module(mmodule)
 
@@ -126,5 +133,6 @@ __all__ = [
     "verify_mfunction_war", "verify_mmodule_war",
     "encode_module", "Program",
     "MModule", "MFunction", "MInstr", "VReg", "StackSlot", "mfunction_to_str",
-    "EPILOGUE_STYLES", "GLOBALS_BASE", "STACK_TOP", "MEMORY_SIZE", "HALT_ADDRESS",
+    "EPILOGUE_BUGS", "EPILOGUE_STYLES",
+    "GLOBALS_BASE", "STACK_TOP", "MEMORY_SIZE", "HALT_ADDRESS",
 ]

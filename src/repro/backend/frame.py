@@ -27,6 +27,12 @@ from .regalloc import used_callee_saved
 
 EPILOGUE_STYLES = ("plain", "ratchet", "wario")
 
+#: TEST-ONLY seeded epilogue bugs (see ``EnvironmentConfig``): lower a
+#: checkpointing style with one of its protection mechanisms removed so
+#: the static certifier and the fault-injection campaign have a real
+#: machine-level consistency bug to catch.
+EPILOGUE_BUGS = ("skip-pop-conversion", "drop-epilog-mask")
+
 
 class FrameError(Exception):
     pass
@@ -39,10 +45,13 @@ def lower_frame(
     entry_checkpoint: bool = False,
     is_entry_function: bool = False,
     remats: Dict[int, MInstr] = None,
+    epilogue_bug: Optional[str] = None,
 ) -> None:
     """Finalise ``fn``: slot offsets, prologue, epilogues, call expansion."""
     if epilogue_style not in EPILOGUE_STYLES:
         raise FrameError(f"unknown epilogue style {epilogue_style!r}")
+    if epilogue_bug is not None and epilogue_bug not in EPILOGUE_BUGS:
+        raise FrameError(f"unknown epilogue bug {epilogue_bug!r}")
 
     offset = 0
     for slot in fn.slots:
@@ -62,7 +71,7 @@ def lower_frame(
     fn.saved_high = [r for r in saved if r != "lr" and int(r[1:]) >= 8]
 
     _expand_calls(fn, spills, remats or {})
-    _expand_rets(fn, epilogue_style)
+    _expand_rets(fn, epilogue_style, epilogue_bug)
     _insert_prologue(fn, entry_checkpoint and not is_entry_function)
 
 
@@ -81,7 +90,8 @@ def _insert_prologue(fn: MFunction, entry_checkpoint: bool) -> None:
         entry.insert(i, instr)
 
 
-def _epilogue_sequence(fn: MFunction, style: str) -> List[MInstr]:
+def _epilogue_sequence(fn: MFunction, style: str,
+                       bug: Optional[str] = None) -> List[MInstr]:
     """The function epilogue, per protection style.
 
     The stack after the prologue (descending addresses): low callee-saved
@@ -89,6 +99,13 @@ def _epilogue_sequence(fn: MFunction, style: str) -> List[MInstr]:
     sp.  Thumb-2 restores each group with its own pop, so the Ratchet
     style needs up to three checkpoints; the WARio Epilog Optimizer masks
     interrupts and needs exactly one (paper §3.1.3).
+
+    ``bug`` seeds a deliberately broken lowering (test-only):
+    ``"skip-pop-conversion"`` emits the Ratchet epilogue with raw pops —
+    a pop reads the bytes its own sp adjustment releases, inside an open
+    region; ``"drop-epilog-mask"`` emits the WARio epilogue without the
+    ``cpsid``/``cpsie`` pair, leaving the frame release exposed to
+    interrupt stacking before the exit checkpoint commits.
     """
     seq: List[MInstr] = []
     low, high = fn.saved_low, fn.saved_high
@@ -106,6 +123,13 @@ def _epilogue_sequence(fn: MFunction, style: str) -> List[MInstr]:
         if fn.frame_size:
             seq.append(MInstr("checkpoint", cause=CKPT_FUNCTION_EXIT))
             seq.append(MInstr("addsp", ops=[fn.frame_size]))
+        if bug == "skip-pop-conversion":
+            # Seeded bug: the converter is skipped — each group keeps its
+            # raw pop, which re-reads bytes it has already released.
+            for group in (high, low):
+                if group:
+                    seq.append(MInstr("pop", regs=list(group)))
+            return seq
         for group in (high, low):
             if not group:
                 continue
@@ -117,7 +141,9 @@ def _epilogue_sequence(fn: MFunction, style: str) -> List[MInstr]:
     # wario: mask interrupts, one checkpoint before one final adjustment
     if not fn.frame_size and not low and not high:
         return seq
-    seq.append(MInstr("cpsid"))
+    masked = bug != "drop-epilog-mask"
+    if masked:
+        seq.append(MInstr("cpsid"))
     if fn.frame_size:
         seq.append(MInstr("addsp", ops=[fn.frame_size]))
     offset = 0
@@ -128,11 +154,12 @@ def _epilogue_sequence(fn: MFunction, style: str) -> List[MInstr]:
     seq.append(MInstr("checkpoint", cause=CKPT_FUNCTION_EXIT))
     if offset:
         seq.append(MInstr("addsp", ops=[offset]))
-    seq.append(MInstr("cpsie"))
+    if masked:
+        seq.append(MInstr("cpsie"))
     return seq
 
 
-def _expand_rets(fn: MFunction, style: str) -> None:
+def _expand_rets(fn: MFunction, style: str, bug: Optional[str] = None) -> None:
     for block in fn.blocks:
         new_instrs: List[MInstr] = []
         for instr in block.instructions:
@@ -144,7 +171,7 @@ def _expand_rets(fn: MFunction, style: str) -> None:
                 r0 = VReg("r0", phys="r0")
                 if src.phys != "r0":
                     new_instrs.append(MInstr("mov", r0, [src]))
-            new_instrs.extend(_epilogue_sequence(fn, style))
+            new_instrs.extend(_epilogue_sequence(fn, style, bug))
         block.instructions = new_instrs
         for minstr in new_instrs:
             minstr.parent = block

@@ -18,6 +18,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from ..analysis.dataflow import DataflowProblem, intersect_must_set, solve
+
 #: Condition codes (Thumb naming).
 CONDITIONS = ("eq", "ne", "lt", "le", "gt", "ge", "lo", "ls", "hi", "hs")
 
@@ -353,59 +355,61 @@ def verify_mfunction(fn: MFunction, after_regalloc: bool = False) -> None:
         raise MIRVerificationError(fn.name, problems)
 
 
+class _DefinedBeforeUse(DataflowProblem):
+    """Forward must-dataflow on the shared engine: the set of vreg ids
+    defined on *every* path from entry (``None`` = unreachable, so dead
+    blocks have vacuous paths and are never checked)."""
+
+    def __init__(self, fn: MFunction):
+        self.fn = fn
+
+    def nodes(self):
+        return self.fn.blocks
+
+    def key(self, block) -> str:
+        return block.name
+
+    def edges(self, block):
+        for succ in block.successors():
+            yield succ, False
+
+    def initial(self, block) -> Optional[set]:
+        return set() if block is self.fn.blocks[0] else None
+
+    def transfer(self, block, state: set) -> set:
+        state = set(state)
+        for instr in block.instructions:
+            for reg in instr.defs():
+                if not reg.is_phys:
+                    state.add(reg.id)
+        return state
+
+    def flow(self, out: set, block, succ, is_back: bool) -> set:
+        return set(out)
+
+    def merge(self, existing: set, incoming: set, block) -> bool:
+        return intersect_must_set(existing, incoming)
+
+
 def _check_defined_before_use(fn: MFunction) -> List[str]:
     """Forward must-dataflow: every (non-physical) vreg use is dominated
     by a definition on every path from entry."""
     if not fn.blocks:
         return []
     problems: List[str] = []
-    preds: Dict[str, List[MBlock]] = {b.name: [] for b in fn.blocks}
     for block in fn.blocks:
         try:
-            for succ in block.successors():
-                preds[succ.name].append(block)
+            block.successors()
         except KeyError:
             return problems  # broken targets already reported
-    # reachable-only: unreachable blocks have vacuous paths
-    reachable = set()
-    work = [fn.blocks[0]]
-    while work:
-        block = work.pop()
-        if block.name in reachable:
-            continue
-        reachable.add(block.name)
-        work.extend(block.successors())
 
-    defined_out: Dict[str, set] = {b.name: None for b in fn.blocks}
-    changed = True
-    while changed:
-        changed = False
-        for block in fn.blocks:
-            if block.name not in reachable:
-                continue
-            ins = [
-                defined_out[p.name]
-                for p in preds[block.name]
-                if defined_out[p.name] is not None
-            ]
-            state = set.intersection(*ins) if ins else set()
-            for instr in block.instructions:
-                for reg in instr.defs():
-                    if not reg.is_phys:
-                        state.add(reg.id)
-            if defined_out[block.name] != state:
-                defined_out[block.name] = state
-                changed = True
-
+    problem = _DefinedBeforeUse(fn)
+    in_states = solve(problem)
     for block in fn.blocks:
-        if block.name not in reachable:
-            continue
-        ins = [
-            defined_out[p.name]
-            for p in preds[block.name]
-            if defined_out[p.name] is not None
-        ]
-        state = set.intersection(*ins) if ins else set()
+        state = in_states[block.name]
+        if state is None:
+            continue  # unreachable: vacuous paths
+        state = set(state)
         for instr in block.instructions:
             for reg in instr.uses():
                 if not reg.is_phys and reg.id not in state:

@@ -42,6 +42,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.alias import PRECISE, AliasAnalysis
+from ..analysis.dataflow import (
+    BK,
+    FW,
+    DataflowProblem,
+    interval_add,
+    interval_covers,
+    interval_intersect,
+    interval_sub,
+    intervals_overlap,
+    solve,
+)
 from ..diagnostics import (
     Diagnostic,
     DiagnosticEngine,
@@ -51,72 +62,16 @@ from ..diagnostics import (
 from ..ir.values import GlobalVariable
 from .mir import MFunction, MInstr, StackSlot
 
-FW = 1
-BK = 2
-
 _LOAD_SIZE = {"ldr": 4, "ldrh": 2, "ldrb": 1}
 _STORE_SIZE = {"str": 4, "strh": 2, "strb": 1}
 
-
-def _overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
-    return a[0] < b[1] and b[0] < a[1]
-
-
-# -- interval sets (sorted, disjoint, half-open) ----------------------------
-
-def _interval_add(intervals: List[Tuple[int, int]], new: Tuple[int, int]):
-    """Union ``new`` into a sorted disjoint interval list."""
-    lo, hi = new
-    out: List[Tuple[int, int]] = []
-    for a, b in intervals:
-        if b < lo or a > hi:
-            out.append((a, b))
-        else:
-            lo = min(lo, a)
-            hi = max(hi, b)
-    out.append((lo, hi))
-    out.sort()
-    return out
-
-
-def _interval_sub(intervals: List[Tuple[int, int]], cut: Tuple[int, int]):
-    """Remove ``cut`` from every interval of the list."""
-    lo, hi = cut
-    out: List[Tuple[int, int]] = []
-    for a, b in intervals:
-        if b <= lo or a >= hi:
-            out.append((a, b))
-            continue
-        if a < lo:
-            out.append((a, lo))
-        if b > hi:
-            out.append((hi, b))
-    return out
-
-
-def _interval_intersect(xs, ys):
-    out: List[Tuple[int, int]] = []
-    for a, b in xs:
-        for c, d in ys:
-            lo, hi = max(a, c), min(b, d)
-            if lo < hi:
-                out.append((lo, hi))
-    out.sort()
-    return out
-
-
-def _covers(intervals: List[Tuple[int, int]], ranges) -> bool:
-    """True if every byte of every range lies inside the interval set."""
-    for lo, hi in ranges:
-        pos = lo
-        for a, b in intervals:
-            if a <= pos < b:
-                pos = b
-                if pos >= hi:
-                    break
-        if pos < hi:
-            return False
-    return True
+# The interval-set lattice lives in the shared dataflow module now;
+# these aliases keep the historical local names readable.
+_overlap = intervals_overlap
+_interval_add = interval_add
+_interval_sub = interval_sub
+_interval_intersect = interval_intersect
+_covers = interval_covers
 
 
 class _Fact:
@@ -193,7 +148,13 @@ def _merge(into: _State, new: _State, problems: List[str], where: str) -> bool:
     return changed
 
 
-class _MIRWARAnalysis:
+class _MIRWARAnalysis(DataflowProblem):
+    """A forward dataflow on the shared worklist engine over concrete
+    stack coordinates.  The in-state seed is ``None`` everywhere but the
+    entry block (``None`` = unreached — dead blocks are never analysed
+    and contribute nothing to joins), every edge copies the out-state,
+    and a back edge additionally widens fact flags with ``BK``."""
+
     def __init__(
         self,
         mfn: MFunction,
@@ -212,6 +173,7 @@ class _MIRWARAnalysis:
         self.frame_delta = -self._prologue_bytes()
         self.addr_taken = self._address_taken_ranges()
         self.slot_for_alloca = mfn.alloca_slots
+        self._index = {b.name: i for i, b in enumerate(mfn.blocks)}
 
     # -- geometry --------------------------------------------------------
     def _prologue_bytes(self) -> int:
@@ -319,14 +281,16 @@ class _MIRWARAnalysis:
         for instr in block.instructions:
             op = instr.opcode
             if op == "checkpoint":
+                self._at_checkpoint(instr, state, report)
                 state.facts.clear()
                 state.pending = []
                 state.covered = []
                 continue
             if op == "bl":
-                if self.calls_are_checkpoints and (
+                barrier = self.calls_are_checkpoints and (
                     instr.ops[0] not in self.transparent_callees
-                ):
+                )
+                if barrier:
                     # The callee checkpoints at entry: region boundary.
                     state.facts.clear()
                     state.pending = []
@@ -336,6 +300,7 @@ class _MIRWARAnalysis:
                 # through escaped pointers are the IR verifier's job.
                 # Transparent callees additionally never checkpoint, so
                 # the caller's region (facts + coverage) stays open.
+                self._at_call(instr, state, report, barrier)
                 continue
             if op == "cpsid":
                 state.masked = True
@@ -401,6 +366,17 @@ class _MIRWARAnalysis:
                 self._release(instr, state, 4 * len(instr.regs), report)
                 state.delta += 4 * len(instr.regs)
         return state
+
+    # -- subclass hooks (no-ops here) ------------------------------------
+    # The idempotence certifier (:mod:`repro.analysis.idempotence`)
+    # extends this analysis with cross-call effects and proof-obligation
+    # recording; these hooks mark the transfer points it attaches to.
+    def _at_checkpoint(self, instr: MInstr, state: _State, report: bool) -> None:
+        """Called before a checkpoint clears the region state."""
+
+    def _at_call(self, instr: MInstr, state: _State, report: bool,
+                 barrier: bool) -> None:
+        """Called after a ``bl``'s barrier effect (if any) was applied."""
 
     def _release(self, instr: MInstr, state: _State, nbytes: int, report: bool) -> None:
         released = (state.delta, state.delta + nbytes)
@@ -470,32 +446,36 @@ class _MIRWARAnalysis:
             )],
         ))
 
+    # -- the dataflow problem (shared worklist engine) -------------------
+    def nodes(self):
+        return self.mfn.blocks
+
+    def key(self, block) -> str:
+        return block.name
+
+    def edges(self, block):
+        here = self._index[block.name]
+        for succ in block.successors():
+            yield succ, self._index[succ.name] <= here
+
+    def initial(self, block) -> Optional[_State]:
+        return _State() if block is self.mfn.blocks[0] else None
+
+    def transfer(self, block, state: _State) -> _State:
+        return self._transfer(block, state.copy(), report=False)
+
+    def flow(self, out: _State, block, succ, is_back: bool) -> _State:
+        return out.copy(add_bk=is_back)
+
+    def merge(self, existing: _State, incoming: _State, block) -> bool:
+        return _merge(existing, incoming, self.structural, block.name)
+
     # -- driver ----------------------------------------------------------
     def run(self) -> None:
         if not self.mfn.blocks:
             return
-        order = self.mfn.blocks
-        index = {b.name: i for i, b in enumerate(order)}
-        in_states: Dict[str, Optional[_State]] = {b.name: None for b in order}
-        in_states[order[0].name] = _State()
-        changed = True
-        while changed:
-            changed = False
-            for block in order:
-                state = in_states[block.name]
-                if state is None:
-                    continue
-                out = self._transfer(block, state.copy(), report=False)
-                for succ in block.successors():
-                    back = index[succ.name] <= index[block.name]
-                    flowed = out.copy(add_bk=back)
-                    existing = in_states[succ.name]
-                    if existing is None:
-                        in_states[succ.name] = flowed
-                        changed = True
-                    elif _merge(existing, flowed, self.structural, succ.name):
-                        changed = True
-        for block in order:
+        in_states = solve(self)
+        for block in self.mfn.blocks:
             state = in_states[block.name]
             if state is None:
                 continue

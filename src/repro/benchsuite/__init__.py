@@ -9,7 +9,7 @@ mini-C dialect with pure-Python reference implementations:
 * ``picojpeg`` — picojpeg-like baseline decoder [17]
 """
 
-from . import aes, coremark, crc, dijkstra, picojpeg, sha
+from . import aes, coremark, crc, dijkstra, picojpeg, sha, xcall
 from .common import (
     Benchmark,
     Output,
@@ -33,6 +33,12 @@ BENCHMARKS = {
     )
 }
 
+#: diagnostic micro-benchmarks: resolvable by name (``get_benchmark``)
+#: but never part of the evaluated suite
+DIAGNOSTICS = {
+    xcall.BENCHMARK.name: xcall.BENCHMARK,
+}
+
 #: display names used in the paper's figures
 PAPER_NAMES = {
     "coremark": "CoreMark",
@@ -48,13 +54,18 @@ def get_benchmark(name: str) -> Benchmark:
     try:
         return BENCHMARKS[name]
     except KeyError:
+        pass
+    try:
+        return DIAGNOSTICS[name]
+    except KeyError:
         raise KeyError(
-            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(BENCHMARKS) + sorted(DIAGNOSTICS)}"
         ) from None
 
 
 __all__ = [
-    "BENCHMARKS", "PAPER_NAMES", "get_benchmark",
+    "BENCHMARKS", "DIAGNOSTICS", "PAPER_NAMES", "get_benchmark",
     "Benchmark", "Output", "VerificationError",
     "clear_program_memo", "compile_benchmark", "run_benchmark",
     "verify_outputs",

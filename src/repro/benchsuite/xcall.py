@@ -1,0 +1,90 @@
+"""``xcall`` — cross-call frame-read diagnostic micro-benchmark.
+
+Not part of the paper's six-benchmark suite (it lives in
+``repro.benchsuite.DIAGNOSTICS``, not ``BENCHMARKS``): this program
+exists to exercise the one interprocedural blind spot of the byte-level
+machine verifier (:mod:`repro.backend.mir_war`).
+
+``work`` passes the address of a stack local to ``get``, a transparent
+callee (under ``*-summaries`` environments) that reads the caller's
+frame through the pointer — a read the caller's machine code never
+performs, so byte-interval analysis of ``work`` alone cannot see it.
+The callee body is padded past the always-inliner's threshold
+(:func:`repro.transforms.inline.inline_always`, 40 raw IR instructions)
+so the call survives into machine code.
+
+Under a correct WARio epilogue the frame release is interrupt-masked
+and committed by the exit checkpoint, so the cross-call read is safe.
+With the seeded ``drop_epilog_mask`` bug the release is exposed:
+interrupt stacking can clobber the local between ``addsp`` and the exit
+checkpoint, and re-execution of the region observes the clobbered
+value.  Only the idempotence certifier's cross-call mod/ref facts catch
+this statically; the fault-injection campaign catches it dynamically
+under a periodic interrupt load.
+"""
+
+from __future__ import annotations
+
+from .common import Benchmark, Output
+
+SOURCE = """
+unsigned int acc;
+unsigned int out;
+
+unsigned int get(unsigned int *p) {
+    unsigned int v = *p;
+    unsigned int a = v + 1;
+    unsigned int b = a + v;
+    unsigned int c = b + a + 3;
+    unsigned int d = c + b + 5;
+    unsigned int e = d + c + 7;
+    unsigned int f = e + d + 11;
+    unsigned int g = f + e + 13;
+    unsigned int h = g + f + 17;
+    unsigned int i = h + g + 19;
+    unsigned int j = i + h + 23;
+    unsigned int k = j + i + 29;
+    return k + j - a - b;
+}
+
+void work(void) {
+    unsigned int local = 7;
+    acc = acc + 1;
+    out = get(&local);
+}
+
+int main(void) {
+    work();
+    return 0;
+}
+"""
+
+
+def _get(v: int) -> int:
+    """Pure-Python mirror of the padded callee."""
+    a = v + 1
+    b = a + v
+    c = b + a + 3
+    d = c + b + 5
+    e = d + c + 7
+    f = e + d + 11
+    g = f + e + 13
+    h = g + f + 17
+    i = h + g + 19
+    j = i + h + 23
+    k = j + i + 29
+    return (k + j - a - b) & 0xFFFFFFFF
+
+
+def reference():
+    return {"acc": 1, "out": _get(7)}
+
+
+BENCHMARK = Benchmark(
+    name="xcall",
+    source=SOURCE,
+    outputs=[Output("acc"), Output("out")],
+    reference=reference,
+    description="cross-call frame-read diagnostic (not in the suite)",
+    max_instructions=100_000,
+)

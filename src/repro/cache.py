@@ -56,6 +56,13 @@ from typing import Any, Dict, Optional
 #: the source fingerprint below.
 COMPILER_VERSION_TAG = "wario-toolchain-1"
 
+#: Static-analysis schema tag, mixed into ``lint``/``analyze`` keys on
+#: top of the toolchain tag.  Bump when the *meaning* of a cached
+#: verdict changes without a code change that the source fingerprint
+#: would catch — e.g. a certificate schema revision or a new default
+#: certification level — so stale verdicts cannot satisfy new queries.
+ANALYSIS_VERSION_TAG = "idempotence-certifier-1"
+
 _FALSY = ("0", "off", "no", "false")
 
 
@@ -151,15 +158,23 @@ def run_key(program_key: str, power_key: str, war_check: bool,
     )
 
 
-def lint_key(sources, config, name: str = "program") -> str:
-    """Key of one static WAR-certification verdict (``LintResult``)."""
+def lint_key(sources, config, name: str = "program",
+             level: str = "full") -> str:
+    """Key of one static WAR-certification verdict (``LintResult``).
+
+    ``level`` is the certification depth (``ir`` | ``mir`` | ``full``):
+    verdicts at different depths carry different diagnostics and
+    certificates, so they are distinct artifacts.
+    """
     if isinstance(sources, str):
         sources = [sources]
-    return _digest("lint", name, repr(config), *sources)
+    return _digest("lint", ANALYSIS_VERSION_TAG, name, repr(config), level,
+                   *sources)
 
 
 def inject_key(program_key: str, schedule, war_check: bool,
-               max_instructions: int, cost_model_repr: str) -> str:
+               max_instructions: int, cost_model_repr: str,
+               interrupt_interval=None) -> str:
     """Key of one fault-injection campaign cell (``CellOutcome``).
 
     ``schedule`` is the tuple of scheduled on-durations; the empty tuple
@@ -167,15 +182,22 @@ def inject_key(program_key: str, schedule, war_check: bool,
     outputs, WAR verdict, event map) of the same program.  These entries
     are the campaign's resumable state: re-invoking an interrupted
     campaign replays completed cells from disk instead of re-emulating.
+
+    ``interrupt_interval`` distinguishes cells run under a periodic
+    interrupt load (differential campaigns); ``None`` — the historical
+    interrupt-free cell — keeps its historical key.
     """
-    return _digest(
+    parts = [
         "inject",
         program_key,
         ",".join(str(d) for d in schedule) or "oracle",
         "war" if war_check else "nowar",
         str(max_instructions),
         cost_model_repr,
-    )
+    ]
+    if interrupt_interval is not None:
+        parts.append(f"irq={interrupt_interval}")
+    return _digest(*parts)
 
 
 # ---------------------------------------------------------------------------
@@ -350,7 +372,8 @@ def resolve_cache(cache=None) -> Optional[CompileCache]:
 
 
 __all__ = [
-    "COMPILER_VERSION_TAG", "CacheReport", "CompileCache",
+    "ANALYSIS_VERSION_TAG", "COMPILER_VERSION_TAG", "CacheReport",
+    "CompileCache",
     "cache_enabled", "compile_key", "default_cache_dir", "get_cache",
     "inject_key", "lint_key", "reset_cache", "resolve_cache", "run_key",
     "source_fingerprint", "version_tag",

@@ -10,7 +10,15 @@ environment and collects every static verifier's findings into a single
   the final machine IR (spill slots, pops, epilogue frame releases),
 * the structural machine-IR verifier (`verify_mfunction`), whose
   findings are converted to ``mir-structural`` diagnostics rather than
-  raised, so a lint run always reports everything it found.
+  raised, so a lint run always reports everything it found,
+* the static idempotence certifier
+  (:mod:`repro.analysis.idempotence`), which re-proves per-region
+  re-execution consistency over both IR levels and emits
+  machine-checkable per-function certificates.
+
+The certification depth is selectable (``level``): ``"ir"`` stops after
+the middle-end verifier, ``"mir"`` adds the back-end verifiers (the
+historical default), ``"full"`` adds the idempotence certifier.
 
 Exit-code contract (used by the CLI and by CI): ``0`` — certified
 WAR-free; ``1`` — at least one error-severity diagnostic; ``2`` — the
@@ -19,8 +27,8 @@ program failed to compile at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
 
 from ..analysis.static_war import verify_module_war
 from ..backend import MIRVerificationError, lower_module, verify_mfunction
@@ -36,6 +44,9 @@ EXIT_CLEAN = 0
 EXIT_ERRORS = 1
 EXIT_COMPILE_FAILED = 2
 
+#: Certification depths, shallowest first.
+LEVEL_ORDER = ("ir", "mir", "full")
+
 
 @dataclass
 class LintResult:
@@ -44,6 +55,10 @@ class LintResult:
     name: str
     env: str
     engine: DiagnosticEngine
+    #: certification depth this result was produced at
+    level: str = "full"
+    #: per-function idempotence certificates (``level="full"`` only)
+    certificates: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def certified(self) -> bool:
@@ -77,9 +92,15 @@ def lint_module(
     env: Union[str, EnvironmentConfig],
     run_middle: bool = True,
     name: Optional[str] = None,
+    level: str = "full",
 ) -> LintResult:
     """Lint an IR module: run the middle end (unless the caller already
-    did) and every static verifier, collecting all diagnostics."""
+    did) and the static verifiers up to ``level``, collecting all
+    diagnostics."""
+    if level not in LEVEL_ORDER:
+        raise ValueError(
+            f"unknown lint level {level!r} (choose from {LEVEL_ORDER})"
+        )
     config = environment(env)
     engine = DiagnosticEngine()
     summaries = None
@@ -104,6 +125,8 @@ def lint_module(
         engine=engine,
         summaries=summaries,
     )
+    if level == "ir":
+        return LintResult(name or module.name, config.name, engine, level)
     mmodule = lower_module(
         module,
         spill_checkpoint_mode=(
@@ -114,6 +137,7 @@ def lint_module(
         transparent=(
             summaries.transparent_names() if summaries is not None else None
         ),
+        epilogue_bug=config.epilogue_bug,
     )
     for mfn in mmodule.functions.values():
         try:
@@ -132,7 +156,22 @@ def lint_module(
         engine=engine,
         summaries=summaries,
     )
-    return LintResult(name or module.name, config.name, engine)
+    certificates: List[Dict[str, object]] = []
+    if level == "full" and config.instrument:
+        # The certifier's region model assumes checkpoints delimit
+        # regions; an uninstrumented build has nothing to certify (the
+        # IR verifier already reports why it is unsafe).
+        from ..analysis.idempotence import certify_module_idempotence
+
+        _, certificates = certify_module_idempotence(
+            module,
+            mmodule,
+            alias_mode=config.alias_mode,
+            summaries=summaries,
+            engine=engine,
+        )
+    return LintResult(name or module.name, config.name, engine, level,
+                      certificates)
 
 
 def lint_sources(
@@ -140,6 +179,7 @@ def lint_sources(
     env: Union[str, EnvironmentConfig] = "wario",
     name: str = "program",
     cache=None,
+    level: str = "full",
 ) -> LintResult:
     """Front-end + middle-end + all static verifiers for mini-C sources.
 
@@ -154,7 +194,7 @@ def lint_sources(
     if isinstance(sources, str):
         sources = [sources]
     config = environment(env)
-    key = lint_key(sources, config, name=name)
+    key = lint_key(sources, config, name=name, level=level)
     store = resolve_cache(cache)
     if store is not None:
         result = store.get(key)
@@ -162,7 +202,7 @@ def lint_sources(
             return result
     module = compile_sources(sources, name)
     verify_module(module)
-    result = lint_module(module, config, name=name)
+    result = lint_module(module, config, name=name, level=level)
     if store is not None:
         store.put(key, result)
     return result
@@ -171,6 +211,7 @@ def lint_sources(
 def lint_benchmarks(
     names: Union[str, List[str]] = "all",
     env: Union[str, EnvironmentConfig] = "wario",
+    level: str = "full",
 ) -> List[LintResult]:
     """Lint benchsuite programs by name (``"all"`` for the whole suite)."""
     from ..benchsuite import BENCHMARKS, get_benchmark
@@ -184,12 +225,14 @@ def lint_benchmarks(
     results = []
     for bench_name in selected:
         bench = get_benchmark(bench_name)
-        results.append(lint_sources(bench.source, env, name=bench_name))
+        results.append(
+            lint_sources(bench.source, env, name=bench_name, level=level)
+        )
     return results
 
 
 __all__ = [
-    "EXIT_CLEAN", "EXIT_ERRORS", "EXIT_COMPILE_FAILED",
+    "EXIT_CLEAN", "EXIT_ERRORS", "EXIT_COMPILE_FAILED", "LEVEL_ORDER",
     "LintResult", "strip_checkpoints",
     "lint_module", "lint_sources", "lint_benchmarks",
 ]

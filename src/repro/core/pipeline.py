@@ -69,6 +69,25 @@ class EnvironmentConfig:
     #: to prove the differential certifier catches a real consistency
     #: bug; no named environment ever sets it.
     drop_checkpoint: Optional[int] = None
+    #: TEST-ONLY fault seeding (back end): lower Ratchet epilogues with
+    #: raw pops, skipping the Idempotent Stack Pop Converter — each pop
+    #: then re-reads bytes its own sp adjustment released inside an open
+    #: region.  No named environment ever sets it.
+    skip_pop_conversion: bool = False
+    #: TEST-ONLY fault seeding (back end): lower WARio epilogues without
+    #: the ``cpsid``/``cpsie`` interrupt mask — the frame release is then
+    #: exposed to interrupt stacking before the exit checkpoint commits.
+    #: No named environment ever sets it.
+    drop_epilog_mask: bool = False
+
+    @property
+    def epilogue_bug(self) -> Optional[str]:
+        """The seeded epilogue-lowering bug to pass to the back end."""
+        if self.skip_pop_conversion:
+            return "skip-pop-conversion"
+        if self.drop_epilog_mask:
+            return "drop-epilog-mask"
+        return None
 
 
 ENVIRONMENTS: Dict[str, EnvironmentConfig] = {
@@ -246,6 +265,7 @@ def compile_ir(
         entry_checkpoints=config.instrument,
         verify=verify_static,
         transparent=transparent,
+        epilogue_bug=config.epilogue_bug,
     )
     if verify_static:
         engine = verify_mmodule_war(

@@ -44,6 +44,10 @@ LEVEL_DYNAMIC = "dynamic"
 #: (:mod:`repro.faultinject`): differential divergence from the
 #: continuous-power oracle under a concrete failure schedule
 LEVEL_CAMPAIGN = "campaign"
+#: findings of the static idempotence certifier
+#: (:mod:`repro.analysis.idempotence`): per-region re-execution proof
+#: obligations that could not be discharged
+LEVEL_CERTIFY = "certify"
 
 
 @dataclass(frozen=True)
@@ -202,9 +206,88 @@ def render_json(diagnostics: List[Diagnostic]) -> str:
     return json.dumps(payload, indent=2)
 
 
+#: SARIF maps our three severities onto its own level names.
+_SARIF_LEVEL = {ERROR: "error", WARNING: "warning", NOTE: "note"}
+
+
+def _sarif_location(loc: Optional[SourceLoc], message: Optional[str] = None):
+    physical = {
+        "artifactLocation": {"uri": (loc.file if loc is not None else "")
+                             or "<source>"},
+    }
+    if loc is not None and loc.known:
+        physical["region"] = {"startLine": loc.line}
+    out: Dict[str, object] = {"physicalLocation": physical}
+    if message is not None:
+        out["message"] = {"text": message}
+    return out
+
+
+def _sort_key(d: Diagnostic):
+    return (
+        d.loc.file if d.loc is not None else "",
+        d.loc.line if d.loc is not None else 0,
+        d.code,
+        d.function,
+        d.message,
+    )
+
+
+def render_sarif(diagnostics: List[Diagnostic],
+                 tool_name: str = "repro-lint") -> str:
+    """SARIF 2.1.0 rendering for CI code-scanning upload.
+
+    Ordering is deterministic: results sort by (file, line, code,
+    function, message) and the rule table by code, so identical verdicts
+    always serialize to identical bytes regardless of emission order.
+    """
+    ordered = sorted(diagnostics, key=_sort_key)
+    rules = []
+    for code in sorted({d.code for d in ordered}):
+        rules.append({
+            "id": code,
+            "shortDescription": {"text": code},
+            "properties": {"pipelineLevels": sorted(
+                {d.level for d in ordered if d.code == code}
+            )},
+        })
+    results = []
+    for d in ordered:
+        result: Dict[str, object] = {
+            "ruleId": d.code,
+            "level": _SARIF_LEVEL[d.severity],
+            "message": {"text": d.message},
+            "locations": [_sarif_location(d.loc)],
+            "properties": {
+                "function": d.function,
+                "region": d.region,
+                "pipelineLevel": d.level,
+            },
+        }
+        if d.related:
+            result["relatedLocations"] = [
+                _sarif_location(loc, msg) for msg, loc in d.related
+            ]
+        results.append(result)
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "https://dl.acm.org/doi/10.1145/3519939.3523454",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 __all__ = [
     "ERROR", "WARNING", "NOTE", "SEVERITIES",
-    "LEVEL_IR", "LEVEL_MIR", "LEVEL_DYNAMIC", "LEVEL_CAMPAIGN",
+    "LEVEL_IR", "LEVEL_MIR", "LEVEL_DYNAMIC", "LEVEL_CAMPAIGN", "LEVEL_CERTIFY",
     "SourceLoc", "Diagnostic", "DiagnosticEngine",
-    "render_text", "render_json",
+    "render_text", "render_json", "render_sarif",
 ]

@@ -38,12 +38,21 @@ from .campaign import (
     run_campaign,
     shrink_schedule,
 )
+from .differential import (
+    DifferentialConfig,
+    DifferentialReport,
+    full_differential_config,
+    quick_differential_config,
+    run_differential,
+)
 from .plan import PlanConfig, plan_schedules
 from .report import CampaignReport
 
 __all__ = [
     "CampaignConfig", "CampaignReport", "CellOutcome", "Judged",
     "OracleRecord", "PairResult", "PlanConfig",
-    "full_config", "plan_schedules", "quick_config", "run_campaign",
-    "shrink_schedule",
+    "DifferentialConfig", "DifferentialReport",
+    "full_config", "full_differential_config", "plan_schedules",
+    "quick_config", "quick_differential_config", "run_campaign",
+    "run_differential", "shrink_schedule",
 ]

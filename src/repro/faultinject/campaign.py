@@ -56,6 +56,11 @@ class CampaignConfig:
     post_restore: int = 2
     max_schedules: int = 0          #: per-pair cap (0 = unlimited)
     jobs: Optional[int] = None      #: worker processes (None = default)
+    #: fire a timer interrupt every N cycles (hardware stacking through
+    #: the WAR checker).  ``None`` — no interrupt load (the historical
+    #: campaign).  Differential campaigns use a small interval so seeded
+    #: epilogue bugs (exposed frame releases) are observable dynamically.
+    interrupt_interval: Optional[int] = None
 
 
 def full_config(**overrides) -> CampaignConfig:
@@ -86,6 +91,22 @@ def _pair_seed(seed: int, bench: str, env: Env) -> int:
     """A stable per-pair RNG seed (sha256, not the randomised hash())."""
     blob = f"{seed}:{bench}:{env_name(env)}:{environment(env)!r}"
     return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:8], "big")
+
+
+#: Memory bytes below this bound hold the globals (data section); the
+#: top of the address space is the stack.  Campaigns under an interrupt
+#: load digest only the data section: hardware exception stacking leaves
+#: residue in dead stack bytes that differs with interrupt timing but is
+#: architecturally invisible to the program.
+DATA_DIGEST_LIMIT = 0xF0000
+
+
+def _digest_memory(machine: Machine,
+                   interrupt_interval: Optional[int]) -> str:
+    view = machine.memory
+    if interrupt_interval is not None:
+        view = view[:DATA_DIGEST_LIMIT]
+    return hashlib.sha256(view).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -179,7 +200,10 @@ def _outputs_match(bench, machine: Machine) -> bool:
     return True
 
 
-def _execute_oracle(bench_name: str, env: Env, cache=None) -> OracleRecord:
+def _execute_oracle(
+    bench_name: str, env: Env, cache=None,
+    interrupt_interval: Optional[int] = None,
+) -> OracleRecord:
     """One continuous-power run with event tracing (disk-cached)."""
     bench = get_benchmark(bench_name)
     program = compile_benchmark(bench, env, None, cache=cache)
@@ -187,15 +211,17 @@ def _execute_oracle(bench_name: str, env: Env, cache=None) -> OracleRecord:
     key = None
     if store is not None and program.cache_key:
         key = inject_key(program.cache_key, (), True,
-                         bench.max_instructions, repr(DEFAULT_COSTS))
+                         bench.max_instructions, repr(DEFAULT_COSTS),
+                         interrupt_interval=interrupt_interval)
         hit = store.get(key)
         if hit is not None:
             return hit
     trace = EventTrace()
-    machine = Machine(program, war_check=True, trace=trace)
+    machine = Machine(program, war_check=True, trace=trace,
+                      interrupt_interval=interrupt_interval)
     stats = machine.run(max_instructions=bench.max_instructions)
     record = OracleRecord(
-        memory_digest=hashlib.sha256(machine.memory).hexdigest(),
+        memory_digest=_digest_memory(machine, interrupt_interval),
         outputs_ok=_outputs_match(bench, machine),
         war_clean=machine.war.clean,
         instructions=stats.instructions,
@@ -209,7 +235,8 @@ def _execute_oracle(bench_name: str, env: Env, cache=None) -> OracleRecord:
 
 
 def _execute_schedule(
-    bench_name: str, env: Env, schedule: Schedule, cache=None
+    bench_name: str, env: Env, schedule: Schedule, cache=None,
+    interrupt_interval: Optional[int] = None,
 ) -> CellOutcome:
     """Replay one failure schedule (disk-cached under its inject key)."""
     bench = get_benchmark(bench_name)
@@ -218,11 +245,13 @@ def _execute_schedule(
     key = None
     if store is not None and program.cache_key:
         key = inject_key(program.cache_key, schedule, True,
-                         bench.max_instructions, repr(DEFAULT_COSTS))
+                         bench.max_instructions, repr(DEFAULT_COSTS),
+                         interrupt_interval=interrupt_interval)
         hit = store.get(key)
         if hit is not None:
             return hit
-    machine = Machine(program, war_check=True)
+    machine = Machine(program, war_check=True,
+                      interrupt_interval=interrupt_interval)
     error = ""
     try:
         stats = machine.run(
@@ -238,7 +267,7 @@ def _execute_schedule(
     outcome = CellOutcome(
         schedule=tuple(schedule),
         memory_digest=(
-            "" if error else hashlib.sha256(machine.memory).hexdigest()
+            "" if error else _digest_memory(machine, interrupt_interval)
         ),
         outputs_ok=False if error else _outputs_match(bench, machine),
         war_violations=len(machine.war.violations),
@@ -257,14 +286,18 @@ def _execute_schedule(
 
 
 def _oracle_worker(payload) -> OracleRecord:
-    bench_name, env, cache_dir, use_disk = payload
-    return _execute_oracle(bench_name, env, worker_cache(cache_dir, use_disk))
+    bench_name, env, cache_dir, use_disk, interrupt_interval = payload
+    return _execute_oracle(
+        bench_name, env, worker_cache(cache_dir, use_disk),
+        interrupt_interval=interrupt_interval,
+    )
 
 
 def _cell_worker(payload) -> CellOutcome:
-    bench_name, env, schedule, cache_dir, use_disk = payload
+    bench_name, env, schedule, cache_dir, use_disk, interrupt_interval = payload
     return _execute_schedule(
-        bench_name, env, schedule, worker_cache(cache_dir, use_disk)
+        bench_name, env, schedule, worker_cache(cache_dir, use_disk),
+        interrupt_interval=interrupt_interval,
     )
 
 
@@ -306,6 +339,7 @@ def shrink_schedule(
     schedule: Schedule,
     oracle: OracleRecord,
     cache=None,
+    interrupt_interval: Optional[int] = None,
 ) -> Schedule:
     """Minimise a failing schedule to a smallest failing subsequence.
 
@@ -320,7 +354,10 @@ def shrink_schedule(
     for size in range(1, len(schedule)):
         for picked in combinations(range(len(schedule)), size):
             candidate = tuple(schedule[i] for i in picked)
-            outcome = _execute_schedule(bench_name, env, candidate, cache)
+            outcome = _execute_schedule(
+                bench_name, env, candidate, cache,
+                interrupt_interval=interrupt_interval,
+            )
             if certify_outcome(outcome, oracle)[0] != "pass":
                 return candidate
     return tuple(schedule)
@@ -357,7 +394,8 @@ def run_campaign(config: CampaignConfig, cache=None):
     # Phase 1 — continuous-power oracles + event maps, in parallel.
     oracles = map_ordered(
         _oracle_worker,
-        [(bench, env, cache_dir, use_disk) for bench, env in pairs],
+        [(bench, env, cache_dir, use_disk, config.interrupt_interval)
+         for bench, env in pairs],
         config.jobs,
     )
 
@@ -380,7 +418,8 @@ def run_campaign(config: CampaignConfig, cache=None):
 
     # Phase 3 — replay every cell of every pair through one flat fan-out.
     payloads = [
-        (bench, env, schedule, cache_dir, use_disk)
+        (bench, env, schedule, cache_dir, use_disk,
+         config.interrupt_interval)
         for (bench, env), plan in zip(pairs, plans)
         for schedule in plan
     ]
@@ -400,6 +439,7 @@ def run_campaign(config: CampaignConfig, cache=None):
                 entry.shrunk = shrink_schedule(
                     bench, env, outcome.schedule, oracle,
                     store if store is not None else False,
+                    interrupt_interval=config.interrupt_interval,
                 )
             judged.append(entry)
         results.append(

@@ -1,0 +1,359 @@
+"""Differential validation: the static idempotence certifier vs. the
+fault-injection campaign, over the same (benchmark, environment) cells.
+
+Each cell is judged twice:
+
+* **statically** — ``repro lint`` at ``level="full"`` (region dataflow,
+  machine verifiers, and the idempotence certifier of
+  :mod:`repro.analysis.idempotence`);
+* **dynamically** — a fault-injection campaign under a periodic
+  interrupt load (:class:`~repro.faultinject.CampaignConfig` with
+  ``interrupt_interval`` set), whose continuous-power oracle and
+  power-failure replays observe real re-execution behaviour.
+
+The two verdicts are then cross-checked:
+
+===============  ===============  ==================================
+static           dynamic          agreement
+===============  ===============  ==================================
+certified        clean            ``agree-clean``
+violated         dirty            ``agree-dirty``
+certified        dirty            ``unsound`` — **hard failure**: the
+                                  certifier signed off on a program the
+                                  campaign broke
+violated         clean            ``incomplete`` — hard failure when
+                                  the cell carries a seeded bug knob
+                                  (the campaign *must* observe a true
+                                  positive); a warning otherwise
+                                  (static over-approximation is
+                                  permitted)
+===============  ===============  ==================================
+
+Seeded mutation knobs (``EnvironmentConfig.drop_checkpoint`` /
+``skip_pop_conversion`` / ``drop_epilog_mask``) provide known-bad cells
+so the harness validates both directions: the certifier must flag every
+seeded bug, and the campaign must reproduce each one dynamically in the
+same cell.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..core.pipeline import ENVIRONMENTS, environment
+from ..diagnostics import ERROR, LEVEL_CAMPAIGN, WARNING, Diagnostic
+from .campaign import CampaignConfig, Env, env_name, run_campaign
+
+#: cell agreement classes
+AGREE_CLEAN = "agree-clean"
+AGREE_DIRTY = "agree-dirty"
+UNSOUND = "unsound"
+INCOMPLETE = "incomplete"
+
+AGREEMENTS = (AGREE_CLEAN, AGREE_DIRTY, UNSOUND, INCOMPLETE)
+
+
+def seeded_knobs(env: Env) -> Tuple[str, ...]:
+    """The fault-seeding knobs a cell's environment carries."""
+    config = environment(env)
+    knobs = []
+    if config.drop_checkpoint is not None:
+        knobs.append(f"drop_checkpoint={config.drop_checkpoint}")
+    if config.skip_pop_conversion:
+        knobs.append("skip_pop_conversion")
+    if config.drop_epilog_mask:
+        knobs.append("drop_epilog_mask")
+    return tuple(knobs)
+
+
+@dataclass(frozen=True)
+class DifferentialConfig:
+    """One differential run: explicit (bench, env) cells, not a product
+    sweep — mutant environments pair with the program that exposes their
+    seeded bug."""
+
+    cells: Tuple[Tuple[str, Env], ...]
+    seed: int = 0
+    event_cap: int = 2
+    interior_points: int = 2
+    post_restore: int = 1
+    max_schedules: int = 0
+    jobs: Optional[int] = None
+    #: periodic timer-interrupt load for every dynamic run; exposed
+    #: epilogue frame releases are only dynamically observable when
+    #: hardware stacking can land inside the unprotected window
+    interrupt_interval: Optional[int] = 3
+
+
+def _mutant_cells() -> List[Tuple[str, Env]]:
+    """The three seeded true-positive cells, one per mutation knob,
+    each paired with the program that makes the bug observable.
+
+    ``xcall`` carries all three: its live middle-end checkpoint is
+    index 1 (index 0 lands in the inlined-away ``work`` copy), its
+    Ratchet epilogues pop callee-saved groups, and its cross-call frame
+    read makes the exposed WARio release reachable only through the
+    certifier's mod/ref facts.
+    """
+    return [
+        ("xcall", replace(
+            ENVIRONMENTS["wario"],
+            name="wario+drop-checkpoint", drop_checkpoint=1,
+        )),
+        ("xcall", replace(
+            ENVIRONMENTS["ratchet"],
+            name="ratchet+skip-pop-conversion", skip_pop_conversion=True,
+        )),
+        ("xcall", replace(
+            ENVIRONMENTS["wario-summaries"],
+            name="wario-summaries+drop-epilog-mask", drop_epilog_mask=True,
+        )),
+    ]
+
+
+def quick_differential_config(**overrides) -> DifferentialConfig:
+    """The CI/test-sized run: the ``xcall`` diagnostic under its clean
+    environments plus the three seeded mutants (seconds, not minutes)."""
+    cells = [
+        ("xcall", "wario"),
+        ("xcall", "ratchet"),
+        ("xcall", "wario-summaries"),
+    ] + _mutant_cells()
+    defaults = dict(cells=tuple(cells))
+    defaults.update(overrides)
+    return DifferentialConfig(**defaults)
+
+
+def full_differential_config(**overrides) -> DifferentialConfig:
+    """The thorough run: a clean benchmark × environment matrix plus the
+    three seeded mutants."""
+    cells = [
+        (bench, env)
+        for bench in ("crc", "sha", "xcall")
+        for env in ("wario", "ratchet", "wario-summaries")
+    ] + _mutant_cells()
+    defaults = dict(cells=tuple(cells))
+    defaults.update(overrides)
+    return DifferentialConfig(**defaults)
+
+
+@dataclass
+class CellVerdict:
+    """Both verdicts for one cell, plus their agreement class."""
+
+    bench: str
+    env: str
+    knobs: Tuple[str, ...]
+    static_certified: bool
+    static_codes: Tuple[str, ...]
+    static_functions: Tuple[str, ...]
+    dynamic_clean: bool
+    dynamic_reasons: Tuple[str, ...]
+    agreement: str
+
+    @property
+    def hard_failure(self) -> bool:
+        if self.agreement == UNSOUND:
+            return True
+        return self.agreement == INCOMPLETE and bool(self.knobs)
+
+
+@dataclass
+class DifferentialReport:
+    """The outcome of one :func:`run_differential`."""
+
+    config: DifferentialConfig
+    cells: List[CellVerdict] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[CellVerdict]:
+        return [cell for cell in self.cells if cell.hard_failure]
+
+    @property
+    def certified(self) -> bool:
+        """True iff no cell is a hard differential failure."""
+        return not self.failures
+
+    def to_dict(self):
+        return {
+            "certified": self.certified,
+            "cells": [
+                {
+                    "bench": cell.bench,
+                    "env": cell.env,
+                    "knobs": list(cell.knobs),
+                    "static": {
+                        "certified": cell.static_certified,
+                        "codes": list(cell.static_codes),
+                        "functions": list(cell.static_functions),
+                    },
+                    "dynamic": {
+                        "clean": cell.dynamic_clean,
+                        "reasons": list(cell.dynamic_reasons),
+                    },
+                    "agreement": cell.agreement,
+                    "hard_failure": cell.hard_failure,
+                }
+                for cell in self.cells
+            ],
+            "config": {
+                "cells": [
+                    [bench, env_name(env)] for bench, env in self.config.cells
+                ],
+                "seed": self.config.seed,
+                "interrupt_interval": self.config.interrupt_interval,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = []
+        for cell in self.cells:
+            static = "certified" if cell.static_certified else (
+                "violated(" + ",".join(cell.static_codes) + ")"
+            )
+            dynamic = "clean" if cell.dynamic_clean else (
+                "dirty(" + "; ".join(cell.dynamic_reasons) + ")"
+            )
+            mark = "FAIL" if cell.hard_failure else "ok"
+            knobs = f" [{','.join(cell.knobs)}]" if cell.knobs else ""
+            lines.append(
+                f"{mark:>4s} {cell.bench:>8s} × {cell.env:<32s}"
+                f" {cell.agreement:<12s} static={static} dynamic={dynamic}"
+                f"{knobs}"
+            )
+        verdict = "AGREE" if self.certified else "DISAGREE"
+        lines.append(
+            f"differential {verdict}: "
+            f"{len(self.cells) - len(self.failures)}/{len(self.cells)} "
+            f"cells consistent"
+        )
+        return "\n".join(lines)
+
+    def diagnostics(self) -> List[Diagnostic]:
+        """Export disagreements: ``differential-unsound`` (ERROR) when
+        the certifier signed off on a dynamically broken cell,
+        ``differential-missed`` (ERROR) when the campaign failed to
+        reproduce a seeded bug, ``differential-incomplete`` (WARNING)
+        for permitted static over-approximation."""
+        out = []
+        for cell in self.cells:
+            where = f"{cell.bench}/{cell.env}"
+            if cell.agreement == UNSOUND:
+                out.append(Diagnostic(
+                    ERROR, "differential-unsound",
+                    f"{where}: statically certified idempotent, but the "
+                    f"injection campaign found: "
+                    + "; ".join(cell.dynamic_reasons),
+                    function=cell.bench, level=LEVEL_CAMPAIGN,
+                ))
+            elif cell.agreement == INCOMPLETE and cell.knobs:
+                out.append(Diagnostic(
+                    ERROR, "differential-missed",
+                    f"{where}: seeded bug ({', '.join(cell.knobs)}) "
+                    f"flagged statically "
+                    f"({', '.join(cell.static_codes)}) but the campaign "
+                    f"observed no dynamic divergence",
+                    function=cell.bench, level=LEVEL_CAMPAIGN,
+                ))
+            elif cell.agreement == INCOMPLETE:
+                out.append(Diagnostic(
+                    WARNING, "differential-incomplete",
+                    f"{where}: static findings "
+                    f"({', '.join(cell.static_codes)}) not reproduced "
+                    f"dynamically (over-approximation)",
+                    function=cell.bench, level=LEVEL_CAMPAIGN,
+                ))
+        return out
+
+
+def _static_verdict(bench_name: str, env: Env, cache):
+    """Run the full-depth lint over one cell."""
+    from ..benchsuite import get_benchmark
+    from ..core.lint import lint_sources
+
+    bench = get_benchmark(bench_name)
+    result = lint_sources(
+        bench.source, env, name=bench_name, cache=cache, level="full"
+    )
+    errors = [d for d in result.engine.diagnostics if d.severity == ERROR]
+    codes = tuple(sorted({d.code for d in errors}))
+    functions = tuple(sorted({d.function for d in errors if d.function}))
+    return result.certified, codes, functions
+
+
+def _dynamic_verdict(bench_name: str, env: Env,
+                     config: DifferentialConfig, cache):
+    """Run the injection campaign over one cell."""
+    campaign = CampaignConfig(
+        benches=(bench_name,),
+        envs=(env,),
+        seed=config.seed,
+        event_cap=config.event_cap,
+        interior_points=config.interior_points,
+        post_restore=config.post_restore,
+        max_schedules=config.max_schedules,
+        jobs=config.jobs,
+        interrupt_interval=config.interrupt_interval,
+    )
+    report = run_campaign(campaign, cache=cache)
+    pair = report.pairs[0]
+    reasons = []
+    if not pair.oracle.war_clean:
+        reasons.append("continuous-power oracle is WAR-unclean")
+    if not pair.oracle.outputs_ok:
+        reasons.append("continuous-power oracle outputs diverge")
+    for judged in pair.findings:
+        schedule = judged.shrunk or judged.outcome.schedule
+        points = ",".join(str(d) for d in schedule)
+        reasons.append(f"schedule ({points}): {judged.verdict}")
+    return pair.certified, tuple(reasons)
+
+
+def _agreement(static_certified: bool, dynamic_clean: bool) -> str:
+    if static_certified and dynamic_clean:
+        return AGREE_CLEAN
+    if not static_certified and not dynamic_clean:
+        return AGREE_DIRTY
+    if static_certified:
+        return UNSOUND
+    return INCOMPLETE
+
+
+def run_differential(
+    config: DifferentialConfig, cache=None
+) -> DifferentialReport:
+    """Cross-validate every cell; both phases share the content-addressed
+    cache (``None`` — process default, ``False`` — no caching)."""
+    report = DifferentialReport(config=config)
+    for bench_name, env in config.cells:
+        static_certified, codes, functions = _static_verdict(
+            bench_name, env, cache
+        )
+        dynamic_clean, reasons = _dynamic_verdict(
+            bench_name, env, config, cache
+        )
+        report.cells.append(CellVerdict(
+            bench=bench_name,
+            env=env_name(env),
+            knobs=seeded_knobs(env),
+            static_certified=static_certified,
+            static_codes=codes,
+            static_functions=functions,
+            dynamic_clean=dynamic_clean,
+            dynamic_reasons=reasons,
+            agreement=_agreement(static_certified, dynamic_clean),
+        ))
+    return report
+
+
+__all__ = [
+    "AGREEMENTS", "AGREE_CLEAN", "AGREE_DIRTY", "INCOMPLETE", "UNSOUND",
+    "CellVerdict", "DifferentialConfig", "DifferentialReport",
+    "full_differential_config", "quick_differential_config",
+    "run_differential", "seeded_knobs",
+]

@@ -55,6 +55,7 @@ class CampaignReport:
                 "interior_points": self.config.interior_points,
                 "post_restore": self.config.post_restore,
                 "max_schedules": self.config.max_schedules,
+                "interrupt_interval": self.config.interrupt_interval,
             },
             "certified": self.certified,
             "cells": self.cells,

@@ -1,0 +1,134 @@
+"""Regenerate the pre-refactor WAR-verifier golden fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src:tests python tests/golden/generate.py
+
+The fixture (``war_diagnostics.json``) pins the *exact* diagnostics —
+codes, messages, locations, related notes, and emission order — that the
+IR-level (:mod:`repro.analysis.static_war`) and machine-level
+(:mod:`repro.backend.mir_war`) verifiers produced **before** they were
+refactored onto the shared :mod:`repro.analysis.dataflow` worklist
+engine.  ``tests/test_dataflow_parity.py`` replays the same seeded-bug
+configurations through the refactored verifiers and diffs the output
+byte-for-byte: the refactor must be behaviour-preserving, not merely
+"equivalent".
+
+Only regenerate this file when a *deliberate* diagnostics change lands
+(new code, reworded message); never to paper over a parity failure.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from dataclasses import replace
+
+from repro.benchsuite import BENCHMARKS
+from repro.core import ENVIRONMENTS, run_middle_end
+from repro.core.lint import lint_module, strip_checkpoints
+from repro.frontend import compile_sources
+from repro.ir import verify_module
+
+RMW_SOURCE = """
+unsigned int counter;
+unsigned int acc;
+int main(void) {
+    int i;
+    for (i = 0; i < 8; i++) {
+        counter = counter + 1;
+        acc = acc + counter;
+    }
+    return 0;
+}
+"""
+
+#: (case name, source(s), environment config, post-middle-end mutation)
+def _cases():
+    yield "rmw-plain", [RMW_SOURCE], ENVIRONMENTS["plain"], None
+    yield ("rmw-wario-stripped", [RMW_SOURCE], ENVIRONMENTS["wario"],
+           strip_checkpoints)
+    yield ("rmw-ratchet-summaries-stripped", [RMW_SOURCE],
+           ENVIRONMENTS["ratchet-summaries"], strip_checkpoints)
+    for bench in sorted(BENCHMARKS):
+        yield (f"{bench}-plain", [BENCHMARKS[bench].source],
+               ENVIRONMENTS["plain"], None)
+    yield ("crc-wario-dropck", [BENCHMARKS["crc"].source],
+           replace(ENVIRONMENTS["wario"], name="wario-dropck",
+                   drop_checkpoint=0), None)
+    yield ("crc-ratchet-summaries-dropck", [BENCHMARKS["crc"].source],
+           replace(ENVIRONMENTS["ratchet-summaries"],
+                   name="ratchet-summaries-dropck", drop_checkpoint=0), None)
+    # Instrumented middle end over an unprotected back end: the machine
+    # level verifier must flag the raw pops / frame releases.
+    yield ("crc-wario-plain-epilogue", [BENCHMARKS["crc"].source],
+           replace(ENVIRONMENTS["wario"], name="wario-plain-epilogue",
+                   epilogue_style="plain"), None)
+    yield ("sha-ratchet-plain-epilogue", [BENCHMARKS["sha"].source],
+           replace(ENVIRONMENTS["ratchet"], name="ratchet-plain-epilogue",
+                   epilogue_style="plain"), None)
+
+
+def case_diagnostics(sources, config, mutate):
+    """Lint one seeded-bug configuration; diagnostics in emission order.
+
+    Pinned to ``level="mir"``: the fixture certifies the *WAR verifiers*
+    byte-for-byte across refactors, so the idempotence certifier's
+    additional ``certify``-level diagnostics must stay out of it.
+    """
+    module = compile_sources(sources, "golden")
+    verify_module(module)
+    if mutate is None:
+        result = lint_module(module, config, name="golden", level="mir")
+    else:
+        run_middle_end(module, config)
+        mutate(module)
+        result = lint_module(module, config, run_middle=False, name="golden",
+                             level="mir")
+    return [d.to_dict() for d in result.engine.diagnostics]
+
+
+def unprotected_backend_diagnostics(sources, config):
+    """Machine-level verdicts with the spill-checkpoint inserter disabled
+    entirely: exposes raw spill WARs (``mir-war-forward``/``backward``)
+    that every lintable configuration protects."""
+    from repro.backend import lower_module
+    from repro.backend.mir_war import verify_mmodule_war
+
+    module = compile_sources(sources, "golden")
+    verify_module(module)
+    run_middle_end(module, config)
+    mmodule = lower_module(
+        module,
+        spill_checkpoint_mode=None,
+        epilogue_style="plain",
+        entry_checkpoints=config.instrument,
+    )
+    engine = verify_mmodule_war(
+        mmodule, module, alias_mode=config.alias_mode,
+        calls_are_checkpoints=config.instrument,
+    )
+    return [d.to_dict() for d in engine.diagnostics]
+
+
+def generate():
+    fixtures = {
+        name: case_diagnostics(sources, config, mutate)
+        for name, sources, config, mutate in _cases()
+    }
+    fixtures["sha-wario-unprotected-backend"] = (
+        unprotected_backend_diagnostics(
+            [BENCHMARKS["sha"].source], ENVIRONMENTS["wario"]
+        )
+    )
+    return fixtures
+
+
+if __name__ == "__main__":
+    path = os.path.join(os.path.dirname(__file__), "war_diagnostics.json")
+    with open(path, "w") as handle:
+        json.dump(generate(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")

@@ -266,6 +266,14 @@ def test_static_verdict_agrees_with_dynamic_checker(source):
 def test_lint_cli_benchmark_clean(capsys):
     assert main(["lint", "--benchmark", "crc", "--env", "wario"]) == EXIT_CLEAN
     out = capsys.readouterr().out
+    assert "crc [wario]: certified idempotent" in out
+
+
+def test_lint_cli_benchmark_clean_mir_level(capsys):
+    code = main(["lint", "--benchmark", "crc", "--env", "wario",
+                 "--level", "mir"])
+    assert code == EXIT_CLEAN
+    out = capsys.readouterr().out
     assert "crc [wario]: certified WAR-free" in out
 
 
@@ -273,7 +281,7 @@ def test_lint_cli_all_benchmarks_expander(capsys):
     code = main(["lint", "--benchmark", "all", "--env", "wario-expander"])
     assert code == EXIT_CLEAN
     out = capsys.readouterr().out
-    assert out.count("certified WAR-free") == len(BENCHMARKS)
+    assert out.count("certified idempotent") == len(BENCHMARKS)
 
 
 def test_lint_cli_plain_flagged(capsys):
