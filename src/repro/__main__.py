@@ -100,9 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
                              "certifier (default)")
     lint_p.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text")
+    lint_p.add_argument("--budget", type=int, default=None, metavar="CYCLES",
+                        help="per-region cycle budget for the forward-"
+                             "progress certifier (level full): unbounded "
+                             "regions become errors, and any region whose "
+                             "machine-level worst case exceeds CYCLES "
+                             "raises progress-budget-exceeded")
     lint_p.add_argument("--certificates", default=None, metavar="PATH",
-                        help="write the per-function idempotence "
-                             "certificates (JSON) to PATH")
+                        help="write the per-function idempotence and "
+                             "forward-progress certificates (JSON) to PATH")
 
     analyze_p = sub.add_parser(
         "analyze",
@@ -148,6 +154,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                "same cells (clean matrix + seeded "
                                "mutants); --quick selects the CI-sized "
                                "cell set")
+    inject_p.add_argument("--progress", action="store_true",
+                          help="cross-validate the static forward-"
+                               "progress certifier: observed inter-"
+                               "checkpoint gaps vs. static bounds, "
+                               "tightness per cell, and the starvation "
+                               "cross-check; --quick selects the "
+                               "CI-sized cell set")
     inject_p.add_argument("--format", choices=("text", "json"),
                           default="text")
     inject_p.add_argument("-o", "--output", default=None,
@@ -252,16 +265,19 @@ def _cmd_lint(args) -> int:
     try:
         if args.benchmark:
             results = lint_benchmarks(args.benchmark, args.env,
-                                      level=args.level)
+                                      level=args.level, budget=args.budget)
         else:
             results = [lint_sources(_read_sources(args.sources), args.env,
-                                    name=args.sources[0], level=args.level)]
+                                    name=args.sources[0], level=args.level,
+                                    budget=args.budget)]
     except Exception as exc:  # front/middle end rejected the program
         print(f"lint: compilation failed: {exc}", file=sys.stderr)
         return EXIT_COMPILE_FAILED
     if args.certificates:
         payload = [
-            {"program": r.name, "env": r.env, "certificates": r.certificates}
+            {"program": r.name, "env": r.env, "certificates": r.certificates,
+             "progress": r.progress, "budget": r.budget,
+             "progress_bound": r.progress_bound}
             for r in results
         ]
         with open(args.certificates, "w") as handle:
@@ -287,6 +303,12 @@ def _cmd_lint(args) -> int:
                 )
             else:
                 verdict = result.engine.summary()
+            if result.level == "full" and result.progress:
+                bound = result.progress_bound
+                verdict += (
+                    f", progress bound {bound} cycles/region"
+                    if bound is not None else ", progress unbounded"
+                )
             print(f"{result.name} [{result.env}]: {verdict}")
             if not result.engine.clean:
                 print(result.engine.render_text())
@@ -449,6 +471,8 @@ def _cmd_envs(_args) -> int:
 
 
 def _cmd_inject(args) -> int:
+    if args.progress:
+        return _cmd_inject_progress(args)
     if args.differential:
         return _cmd_inject_differential(args)
     from .faultinject import full_config, quick_config, run_campaign
@@ -500,6 +524,39 @@ def _cmd_inject_differential(args) -> int:
         report = run_differential(config)
     except Exception as exc:
         print(f"inject: differential run failed: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+        if args.output:
+            print(f"wrote {args.output}")
+    return 0 if report.certified else 1
+
+
+def _cmd_inject_progress(args) -> int:
+    from .faultinject import (
+        full_progress_config,
+        quick_progress_config,
+        run_progress_differential,
+    )
+
+    maker = (quick_progress_config if args.quick else full_progress_config)
+    config = maker()
+    if args.bench or args.env:
+        cells = config.cells
+        if args.bench:
+            cells = tuple(c for c in cells if c[0] in set(args.bench))
+        if args.env:
+            cells = tuple(c for c in cells if c[1] in set(args.env))
+        config = _dc_replace(config, cells=cells)
+    try:
+        report = run_progress_differential(config)
+    except Exception as exc:
+        print(f"inject: progress differential failed: {exc}", file=sys.stderr)
         return 2
     if args.output:
         with open(args.output, "w") as handle:

@@ -1,0 +1,925 @@
+"""Static forward-progress certification (paper §6, Surbatovich et al.).
+
+An intermittently-powered device only completes a program if every
+checkpoint-delimited region fits inside one power-on window: correctness
+of intermittent execution includes *progress*, not just memory
+consistency.  This module is the third leg of the certification stack
+after WAR-freedom and idempotence — a sound, machine-level bound on the
+worst-case cycle cost of every region.
+
+Three layers:
+
+**Loop trip bounds** (:func:`loop_trip_bounds`) are inferred on the
+instrumented middle-end IR: a loop whose dominating exit compares a
+constant-step induction variable (:func:`repro.analysis.loops.
+find_induction_variables`) against a constant, starting from a constant
+entry value, gets a closed-form bound on its body executions.  Anything
+else is the lattice top, ``unbounded`` (represented as ``float("inf")``).
+The back end preserves block names (instruction selection creates one
+machine block per IR block), so the IR bounds transfer to machine loops
+by header name.
+
+**Region bounds** are computed on the final machine IR with the
+emulator's real :class:`~repro.emulator.costs.CostModel` — the very
+costs the differential validator's dynamic runs are charged — not the
+middle-end estimate table.  Branches are assumed taken (worst case:
+base cost plus the pipeline refill), a checkpoint's commit cost is
+charged to the *following* region (matching
+``Machine._take_checkpoint``, which records ``region_cycles`` before
+resetting), and calls compose callee summaries bottom-up over the
+Tarjan SCC order of :mod:`repro.analysis.summaries` (a recursive SCC is
+``unbounded``).  Within a function, loops are collapsed innermost-first
+into summary nodes and the resulting DAG is evaluated with the generic
+worklist solver of :mod:`repro.analysis.dataflow`.
+
+Every path set is summarised by four components (the *progress
+lattice*, see ``docs/PROGRESS.md``):
+
+* ``through`` — the dearest checkpoint-free entry-to-exit path, or
+  ``None`` when every path crosses a checkpoint;
+* ``pre``    — per ending checkpoint, the dearest entry-to-*first*-
+  checkpoint prefix;
+* ``post``   — the dearest last-checkpoint-to-exit suffix;
+* ``gaps``   — per ending checkpoint, the dearest complete interior
+  checkpoint-to-checkpoint gap.
+
+The **diagnostics** (``progress-*`` family, certify level):
+
+* ``progress-unbounded`` — a loop with no inferable trip bound has a
+  checkpoint-free iteration path (or the function is recursive /
+  structurally unanalysable): under a short-enough power-on window the
+  program livelocks.  Warning normally, error when certifying against
+  an explicit ``--budget``.
+* ``progress-budget-exceeded`` — a region's worst-case bound exceeds
+  the requested cycle budget.
+* ``progress-region-bound-unsound`` — the middle end's
+  :mod:`repro.core.region_bound` pass promised ``max_region_cycles``,
+  but the machine-level bound exceeds it: the IR estimate did not
+  survive the back end (spills, prologues, call expansion).
+
+Certificates are per-function JSON dicts (schema in
+``docs/PROGRESS.md``); :func:`progress_bound` folds a module's
+certificates into the single program-level bound the fault-injection
+differential compares dynamic gaps against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..diagnostics import LEVEL_CERTIFY, DiagnosticEngine
+from ..emulator.costs import DEFAULT_COSTS, CostModel
+from .dataflow import DataflowProblem, solve
+from .dominators import dominator_tree
+from .loops import find_induction_variables, loop_info
+
+#: The lattice top: no finite bound.
+UNBOUNDED = float("inf")
+
+_M32 = 0xFFFFFFFF
+
+
+class IrreducibleCFG(Exception):
+    """The condensed machine CFG is not a DAG after collapsing natural
+    loops — positional back edges did not capture its cycles, so no
+    structural bound exists.  The caller degrades to ``unbounded``."""
+
+
+# ---------------------------------------------------------------------------
+# Loop trip-bound inference (middle-end IR)
+# ---------------------------------------------------------------------------
+
+def _signed(value: int) -> int:
+    value &= _M32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _chase_affine(value) -> Tuple[object, int]:
+    """Decompose ``value`` as ``base + offset`` through a chain of
+    constant adds/subs (as loop rotation and unrolling produce)."""
+    from ..ir.instructions import BinaryOp
+    from ..ir.values import Constant
+
+    offset = 0
+    for _ in range(64):  # bound the walk
+        if (
+            isinstance(value, BinaryOp)
+            and value.op in ("add", "sub")
+            and isinstance(value.rhs, Constant)
+        ):
+            step = _signed(value.rhs.value)
+            offset += -step if value.op == "sub" else step
+            value = value.lhs
+            continue
+        break
+    return value, offset
+
+
+#: ``a pred b`` ⇔ ``b SWAP[pred] a``
+_SWAP = {
+    "eq": "eq", "ne": "ne",
+    "ult": "ugt", "ugt": "ult", "ule": "uge", "uge": "ule",
+    "slt": "sgt", "sgt": "slt", "sle": "sge", "sge": "sle",
+}
+
+_NEGATE = {
+    "eq": "ne", "ne": "eq",
+    "ult": "uge", "uge": "ult", "ule": "ugt", "ugt": "ule",
+    "slt": "sge", "sge": "slt", "sle": "sgt", "sgt": "sle",
+}
+
+
+def _count_true(pred: str, start: int, step: int, limit: int) -> Optional[int]:
+    """How many ``k >= 0`` satisfy ``pred(start + k*step, limit)``
+    before the first failure; ``None`` when the sequence never fails
+    (or wraps in a way the closed forms do not cover)."""
+    if pred in ("slt", "sle", "sgt", "sge"):
+        s, b = _signed(start), _signed(limit)
+    else:
+        s, b = start & _M32, limit & _M32
+    if pred in ("slt", "ult"):
+        if s >= b:
+            return 0
+        return None if step <= 0 else -((s - b) // step)
+    if pred in ("sle", "ule"):
+        if s > b:
+            return 0
+        return None if step <= 0 else (b - s) // step + 1
+    if pred in ("sgt", "ugt"):
+        if s <= b:
+            return 0
+        return None if step >= 0 else -((b - s) // -step)
+    if pred in ("sge", "uge"):
+        if s < b:
+            return 0
+        return None if step >= 0 else (s - b) // -step + 1
+    if pred == "ne":
+        if s == b:
+            return 0
+        if step > 0 and b > s and (b - s) % step == 0:
+            return (b - s) // step
+        if step < 0 and s > b and (s - b) % -step == 0:
+            return (s - b) // -step
+        return None
+    if pred == "eq":
+        return 1 if s == b else 0
+    return None
+
+
+def _entry_constant(loop, phi) -> Optional[int]:
+    from ..ir.values import Constant
+
+    entering = [v for v, pred in phi.incoming if not loop.contains(pred)]
+    if len(entering) == 1 and isinstance(entering[0], Constant):
+        return entering[0].value
+    return None
+
+
+def argument_constants(module) -> Dict[str, Dict[int, Tuple[int, ...]]]:
+    """Whole-program constant-argument sets: for each defined function,
+    the constant values each parameter takes across *all* call sites in
+    the module.  A parameter that any call site passes a non-constant
+    value for (or a function with no call sites at all) is absent — its
+    value set is unknown.
+
+    Mini-C has no indirect calls and ``main`` is the only external
+    entry, so every way a parameter can be bound appears as a literal
+    ``Call`` operand somewhere in the module."""
+    from ..ir.instructions import Call
+    from ..ir.values import Constant
+
+    defined = {fn.name: fn for fn in module.defined_functions()}
+    values: Dict[str, Dict[int, set]] = {name: {} for name in defined}
+    poisoned: Dict[str, set] = {name: set() for name in defined}
+    called: set = set()
+    for fn in defined.values():
+        for block in fn.blocks:
+            for instr in block.instructions:
+                if not isinstance(instr, Call):
+                    continue
+                callee = instr.callee.name
+                if callee not in defined:
+                    continue
+                called.add(callee)
+                for index, arg in enumerate(instr.args):
+                    if isinstance(arg, Constant):
+                        values[callee].setdefault(index, set()).add(arg.value)
+                    else:
+                        poisoned[callee].add(index)
+    return {
+        name: {
+            index: tuple(sorted(vals))
+            for index, vals in per_arg.items()
+            if index not in poisoned[name]
+        }
+        for name, per_arg in values.items()
+        if name in called
+    }
+
+
+def _limit_values(value, offset: int,
+                  arg_values: Optional[Dict[int, Tuple[int, ...]]]):
+    """The constant values an affine-chased loop limit can take: a
+    literal constant, or a parameter whose call sites all pass
+    constants.  ``None`` when the limit is not statically enumerable."""
+    from ..ir.values import Argument, Constant
+
+    if isinstance(value, Constant):
+        return (value.value + offset,)
+    if isinstance(value, Argument) and arg_values:
+        vals = arg_values.get(value.index)
+        if vals:
+            return tuple(v + offset for v in vals)
+    return None
+
+
+def loop_trip_bounds(
+    function,
+    arg_values: Optional[Dict[int, Tuple[int, ...]]] = None,
+) -> Dict[str, float]:
+    """Per loop-header block name, the maximum number of body executions
+    each time the loop is entered (:data:`UNBOUNDED` when no dominating
+    exit yields a closed form).
+
+    Only exits that dominate every latch may bound the trip count — a
+    test inside a conditional can be skipped by an iteration, so it
+    guarantees nothing.  The inferred count is widened by one so both
+    top- and bottom-tested rotations are covered.
+    """
+    from ..ir.instructions import Branch, CondBranch, ICmp
+
+    domtree = dominator_tree(function)
+    info = loop_info(function, domtree)
+    bounds: Dict[str, float] = {}
+    for loop in info.loops:
+        ivs = {
+            id(phi): (phi, step)
+            for phi, step in find_induction_variables(loop).values()
+        }
+        best = UNBOUNDED
+        for inside, _outside in loop.exit_edges():
+            if not all(domtree.dominates(inside, latch) for latch in loop.latches):
+                continue
+            term = inside.terminator
+            if isinstance(term, Branch):
+                best = min(best, 1)  # unconditionally leaves the loop
+                continue
+            if not isinstance(term, CondBranch):
+                continue
+            exits_true = not loop.contains(term.true_target)
+            exits_false = not loop.contains(term.false_target)
+            if exits_true and exits_false:
+                best = min(best, 1)
+                continue
+            cond = term.condition
+            if not isinstance(cond, ICmp):
+                continue
+            base_l, off_l = _chase_affine(cond.lhs)
+            base_r, off_r = _chase_affine(cond.rhs)
+            pred = cond.predicate
+            if id(base_l) in ivs:
+                phi, step = ivs[id(base_l)]
+                offset = off_l
+                limits = _limit_values(base_r, off_r, arg_values)
+            elif id(base_r) in ivs:
+                phi, step = ivs[id(base_r)]
+                offset = off_r
+                limits = _limit_values(base_l, off_l, arg_values)
+                pred = _SWAP[pred]
+            else:
+                continue
+            if not limits:
+                continue
+            init = _entry_constant(loop, phi)
+            if init is None:
+                continue
+            continue_pred = _NEGATE[pred] if exits_true else pred
+            counts = [
+                _count_true(continue_pred, init + offset, step, limit)
+                for limit in limits
+            ]
+            if all(count is not None for count in counts):
+                best = min(best, max(counts) + 1)
+        bounds[loop.header.name] = best
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# The progress lattice: path summaries over machine IR
+# ---------------------------------------------------------------------------
+
+class PathSummary:
+    """Worst-case cycle summary of a set of paths (see module docs)."""
+
+    __slots__ = ("through", "pre", "post", "gaps")
+
+    def __init__(self, through=0, pre=None, post=None, gaps=None):
+        self.through: Optional[float] = through
+        self.pre: Dict[str, float] = pre or {}
+        self.post: Optional[float] = post
+        self.gaps: Dict[str, float] = gaps or {}
+
+    def copy(self) -> "PathSummary":
+        return PathSummary(self.through, dict(self.pre), self.post,
+                           dict(self.gaps))
+
+    def __repr__(self):
+        return (f"<PathSummary through={self.through} pre={self.pre} "
+                f"post={self.post} gaps={self.gaps}>")
+
+
+def _merge_max(into: Dict[str, float], new: Dict[str, float],
+               shift: float = 0) -> bool:
+    changed = False
+    for label, value in new.items():
+        value = value + shift
+        if into.get(label, -1) < value:
+            into[label] = value
+            changed = True
+    return changed
+
+
+def _seq(a: PathSummary, b: PathSummary) -> PathSummary:
+    """Sequential composition: every path of ``a`` followed by every
+    path of ``b``."""
+    out = PathSummary(
+        through=(a.through + b.through
+                 if a.through is not None and b.through is not None else None),
+        pre=dict(a.pre),
+        post=b.post,
+        gaps=dict(a.gaps),
+    )
+    if a.through is not None:
+        _merge_max(out.pre, b.pre, a.through)
+    if a.post is not None and b.through is not None:
+        candidate = a.post + b.through
+        if out.post is None or candidate > out.post:
+            out.post = candidate
+    _merge_max(out.gaps, b.gaps)
+    if a.post is not None:
+        _merge_max(out.gaps, b.pre, a.post)
+    return out
+
+
+def _join_into(existing: PathSummary, incoming: PathSummary) -> bool:
+    """Path-alternative join (pointwise max); mutates ``existing``."""
+    changed = False
+    if incoming.through is not None and (
+        existing.through is None or incoming.through > existing.through
+    ):
+        existing.through = incoming.through
+        changed = True
+    if incoming.post is not None and (
+        existing.post is None or incoming.post > existing.post
+    ):
+        existing.post = incoming.post
+        changed = True
+    changed |= _merge_max(existing.pre, incoming.pre)
+    changed |= _merge_max(existing.gaps, incoming.gaps)
+    return changed
+
+
+def _power(body: PathSummary, trips: float) -> PathSummary:
+    """``body`` iterated up to ``trips`` times (``trips`` may be
+    :data:`UNBOUNDED`; the caller clamps to at least one)."""
+    if trips <= 1:
+        return body.copy()
+    if body.through is None:
+        # Every iteration checkpoints: iterating only adds the
+        # wrap-around gap (last checkpoint of one iteration to the first
+        # of the next); an unbounded trip count is still fully bounded.
+        out = PathSummary(None, dict(body.pre), body.post, dict(body.gaps))
+        if body.post is not None:
+            _merge_max(out.gaps, body.pre, body.post)
+        return out
+    if trips == UNBOUNDED:
+        out = PathSummary(
+            UNBOUNDED,
+            {label: UNBOUNDED for label in body.pre},
+            UNBOUNDED if body.post is not None else None,
+            dict(body.gaps),
+        )
+        if body.post is not None:
+            for label in body.pre:
+                out.gaps[label] = UNBOUNDED
+        return out
+    through = body.through
+    out = PathSummary(
+        through * trips,
+        {label: value + through * (trips - 1)
+         for label, value in body.pre.items()},
+        body.post + through * (trips - 1) if body.post is not None else None,
+        dict(body.gaps),
+    )
+    if body.post is not None:
+        _merge_max(out.gaps, body.pre, body.post + through * (trips - 2))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Machine-IR loop forest (positional back edges, same convention as
+# repro.backend.mir_war / CFGProblem)
+# ---------------------------------------------------------------------------
+
+class _MLoop:
+    __slots__ = ("header", "blocks", "latches", "parent", "children", "trips")
+
+    def __init__(self, header: str):
+        self.header = header
+        self.blocks = {header}
+        self.latches: set = set()
+        self.parent: Optional["_MLoop"] = None
+        self.children: List["_MLoop"] = []
+        self.trips: float = UNBOUNDED
+
+
+def _mir_loops(mfn) -> Tuple[Dict[str, _MLoop], Dict[str, List[str]]]:
+    """Natural loops of a machine function, from real dominance over the
+    machine CFG (back edge = edge whose target dominates its source;
+    :func:`~repro.analysis.dominators._chk_idoms` reused through a name
+    graph, since machine blocks expose ``successors()`` as a method
+    rather than the IR property).
+
+    Returns ``(loops by header name, successor names by block name)``;
+    raises :class:`IrreducibleCFG` when a retreating edge is not a back
+    edge or the loops are not properly nested."""
+    from .dominators import DominatorTree, _chk_idoms
+
+    preds: Dict[str, List[str]] = {block.name: [] for block in mfn.blocks}
+    succs: Dict[str, List[str]] = {}
+    by_name = {block.name: block for block in mfn.blocks}
+    for block in mfn.blocks:
+        names = [succ.name for succ in block.successors()]
+        succs[block.name] = names
+        for name in names:
+            preds[name].append(block.name)
+    entry_block = mfn.blocks[0]
+
+    # Reverse postorder from the entry (unreachable blocks excluded).
+    rpo: List = []
+    visited = set()
+
+    def dfs(block):
+        visited.add(block.name)
+        for name in succs[block.name]:
+            if name not in visited:
+                dfs(by_name[name])
+        rpo.append(block)
+
+    dfs(entry_block)
+    rpo.reverse()
+    rpo_index = {block.name: i for i, block in enumerate(rpo)}
+    idom = _chk_idoms(
+        rpo, entry_block, lambda b: [by_name[p] for p in preds[b.name]
+                                     if p in rpo_index]
+    )
+    domtree = DominatorTree(idom, entry_block, rpo)
+
+    loops: Dict[str, _MLoop] = {}
+    for block in rpo:
+        for succ in succs[block.name]:
+            if rpo_index.get(succ, len(rpo)) > rpo_index[block.name]:
+                continue  # forward (or cross-to-unreachable) edge
+            if not domtree.dominates(by_name[succ], block):
+                raise IrreducibleCFG(
+                    f"retreating edge {block.name} → {succ} whose target "
+                    f"does not dominate its source"
+                )
+            loop = loops.setdefault(succ, _MLoop(succ))
+            loop.latches.add(block.name)
+            stack = [block.name]
+            loop.blocks.add(block.name)
+            while stack:
+                name = stack.pop()
+                if name == loop.header:
+                    continue
+                for pred in preds[name]:
+                    if pred not in loop.blocks and pred in rpo_index:
+                        loop.blocks.add(pred)
+                        stack.append(pred)
+    ordered = sorted(loops.values(), key=lambda l: len(l.blocks))
+    for loop in ordered:
+        for candidate in ordered:
+            if candidate is loop or len(candidate.blocks) <= len(loop.blocks):
+                continue
+            if loop.header in candidate.blocks:
+                if not loop.blocks <= candidate.blocks:
+                    raise IrreducibleCFG(
+                        f"loops at {loop.header} and {candidate.header} "
+                        f"overlap without nesting"
+                    )
+                loop.parent = candidate
+                candidate.children.append(loop)
+                break
+    return loops, succs
+
+
+# ---------------------------------------------------------------------------
+# Region condensation + the worklist solve
+# ---------------------------------------------------------------------------
+
+class _RegionProblem(DataflowProblem):
+    """Forward max-cost propagation over one condensed (DAG) region.
+
+    Nodes are block names or collapsed-loop headers; the in-state at a
+    node is the :class:`PathSummary` of all region-entry→node-entry
+    paths.  ``transfer`` appends the node's own summary; joins take the
+    pointwise maximum.  The condensation is guaranteed acyclic before
+    the solver runs, so the round-robin fixpoint is one pass."""
+
+    def __init__(self, order, edges, summaries, entry):
+        self._order = order            # node keys, topologically sorted
+        self._edges = edges            # key -> [key]
+        self._summaries = summaries    # key -> PathSummary
+        self._entry = entry
+
+    def nodes(self):
+        return self._order
+
+    def key(self, node):
+        return node
+
+    def edges(self, node):
+        for succ in self._edges[node]:
+            yield succ, False
+
+    def initial(self, node):
+        return PathSummary() if node == self._entry else None
+
+    def transfer(self, node, state):
+        return _seq(state, self._summaries[node])
+
+    def flow(self, out, node, succ, is_back):
+        return out.copy()
+
+    def merge(self, existing, incoming, node):
+        return _join_into(existing, incoming)
+
+
+def _block_summary(block, costs: CostModel,
+                   callee_summaries: Dict[str, PathSummary]) -> PathSummary:
+    """Fold one machine block's instructions into a summary.
+
+    Branches charge the taken cost (base + pipeline refill) — the sound
+    worst case.  A checkpoint ends the current gap *before* its commit
+    cost and charges the commit to the following region, exactly as the
+    emulator accounts ``region_cycles``.  A call splices in the callee's
+    summary (its interior gaps are certified in the callee's own
+    certificate)."""
+    summary = PathSummary()
+    for index, instr in enumerate(block.instructions):
+        op = instr.opcode
+        if op == "checkpoint":
+            label = f"{block.name}@{index}"
+            atom = PathSummary(None, {label: 0}, costs.checkpoint_cycles, {})
+        elif op == "bl":
+            cost = costs.cost_of(instr) + costs.pipeline_refill
+            callee = instr.ops[0]
+            target = callee_summaries.get(callee)
+            if target is None:
+                # Unknown or external callee: nothing is bounded.
+                atom = PathSummary(UNBOUNDED, {}, None, {})
+            else:
+                pre = {}
+                if target.pre:
+                    pre[f"{block.name}@{index}:bl:{callee}"] = (
+                        cost + max(target.pre.values())
+                    )
+                atom = PathSummary(
+                    None if target.through is None else cost + target.through,
+                    pre,
+                    target.post,
+                    {},
+                )
+        elif op in ("b", "bcc", "bx_lr"):
+            atom = PathSummary(costs.cost_of(instr) + costs.pipeline_refill)
+        else:
+            atom = PathSummary(costs.cost_of(instr))
+        summary = _seq(summary, atom)
+    return summary
+
+
+def _condense(members, entry: str, loops: List[_MLoop],
+              succs: Dict[str, List[str]],
+              node_summaries: Dict[object, PathSummary],
+              iteration: bool):
+    """Evaluate one region (a whole function body, or a loop body with
+    its back edges cut) over its condensed node graph.
+
+    Returns ``(exit summary, iteration summary or None)``: the exit
+    summary joins every path leaving the region (function: blocks with
+    no successors; loop: edges leaving the member set), the iteration
+    summary joins the paths reaching a latch (only requested for
+    loops, ``iteration=True``)."""
+    top: Dict[str, object] = {}
+    for name in members:
+        top[name] = name
+    for loop in loops:
+        key = ("loop", loop.header)
+        for name in loop.blocks:
+            top[name] = key
+
+    keys: List[object] = []
+    for name in members:  # membership order = layout order
+        key = top[name]
+        if key not in node_summaries:
+            raise IrreducibleCFG(f"node {key} has no summary")
+        if key not in keys:
+            keys.append(key)
+    entry_key = top[entry]
+
+    edges: Dict[object, List[object]] = {key: [] for key in keys}
+    exit_sources: List[object] = []
+    for name in members:
+        out_of_region = False
+        for succ in succs[name]:
+            if succ not in top:
+                out_of_region = True
+                continue
+            source, target = top[name], top[succ]
+            if source == target:
+                continue
+            if target == entry_key:
+                if iteration:
+                    continue  # the loop's own back edge
+                raise IrreducibleCFG(f"residual back edge into {entry}")
+            if isinstance(target, tuple) and succ != target[1]:
+                raise IrreducibleCFG(f"side entry into loop at {target[1]}")
+            if target not in edges[source]:
+                edges[source].append(target)
+        if not succs[name] or out_of_region:
+            if top[name] not in exit_sources:
+                exit_sources.append(top[name])
+
+    # Topological order (Kahn); residual cycles mean the positional
+    # back-edge classification missed something — degrade, don't loop.
+    incoming = {key: 0 for key in keys}
+    for source in keys:
+        for target in edges[source]:
+            incoming[target] += 1
+    ready = [key for key in keys if incoming[key] == 0]
+    topo: List[object] = []
+    while ready:
+        key = ready.pop(0)
+        topo.append(key)
+        for target in edges[key]:
+            incoming[target] -= 1
+            if incoming[target] == 0:
+                ready.append(target)
+    if len(topo) != len(keys):
+        raise IrreducibleCFG("condensed region is not acyclic")
+
+    states = solve(_RegionProblem(topo, edges, node_summaries, entry_key))
+
+    def out_state(key) -> Optional[PathSummary]:
+        state = states.get(key)
+        if state is None:
+            return None
+        return _seq(state, node_summaries[key])
+
+    exit_summary: Optional[PathSummary] = None
+    for key in exit_sources:
+        out = out_state(key)
+        if out is None:
+            continue
+        if exit_summary is None:
+            exit_summary = out
+        else:
+            _join_into(exit_summary, out)
+
+    iteration_summary: Optional[PathSummary] = None
+    if iteration:
+        # latches: any member block with an edge back to the entry block
+        latch_keys = []
+        for name in members:
+            if entry in succs[name]:
+                key = top[name]
+                if key not in latch_keys:
+                    latch_keys.append(key)
+        for key in latch_keys:
+            out = out_state(key)
+            if out is None:
+                continue
+            if iteration_summary is None:
+                iteration_summary = out
+            else:
+                _join_into(iteration_summary, out)
+    return exit_summary, iteration_summary
+
+
+def _summarize_mfunction(mfn, costs: CostModel, trips: Dict[str, float],
+                         callee_summaries: Dict[str, PathSummary]):
+    """Whole-function path summary plus per-loop metadata."""
+    loops, succs = _mir_loops(mfn)
+    node_summaries: Dict[object, PathSummary] = {
+        block.name: _block_summary(block, costs, callee_summaries)
+        for block in mfn.blocks
+    }
+
+    loops_meta: List[Dict[str, object]] = []
+    # Innermost first: children before parents.
+    for loop in sorted(loops.values(), key=lambda l: len(l.blocks)):
+        loop.trips = trips.get(loop.header, UNBOUNDED)
+        members = [b.name for b in mfn.blocks if b.name in loop.blocks]
+        _exit, body = _condense(
+            members, loop.header, loop.children, succs, node_summaries,
+            iteration=True,
+        )
+        if body is None:
+            raise IrreducibleCFG(f"loop at {loop.header} has no latch path")
+        checkpoint_free = body.through is not None
+        iterated = _power(body, max(loop.trips, 1))
+        partial = _exit  # one additional partial pass to the exit edge
+        summary = _seq(iterated, partial) if partial is not None else iterated
+        node_summaries[("loop", loop.header)] = summary
+        loops_meta.append({
+            "header": loop.header,
+            "trip_bound": None if loop.trips == UNBOUNDED else int(loop.trips),
+            "checkpoint_free_iteration": checkpoint_free,
+        })
+
+    members = [block.name for block in mfn.blocks]
+    top_loops = [loop for loop in loops.values() if loop.parent is None]
+    summary, _ = _condense(
+        members, mfn.blocks[0].name, top_loops, succs, node_summaries,
+        iteration=False,
+    )
+    if summary is None:
+        summary = PathSummary(UNBOUNDED, {}, None, {})
+    return summary, loops_meta
+
+
+# ---------------------------------------------------------------------------
+# Certificates + diagnostics
+# ---------------------------------------------------------------------------
+
+def _bound_json(value: Optional[float]):
+    if value is None or value == UNBOUNDED:
+        return None
+    return int(value)
+
+
+def _certificate(name: str, summary: PathSummary,
+                 loops_meta: List[Dict[str, object]],
+                 notes: List[str]) -> Dict[str, object]:
+    regions: List[Dict[str, object]] = []
+    for label, value in sorted(summary.pre.items()):
+        regions.append({"kind": "entry", "to": label,
+                        "bound": _bound_json(value)})
+    for label, value in sorted(summary.gaps.items()):
+        regions.append({"kind": "interior", "to": label,
+                        "bound": _bound_json(value)})
+    if summary.post is not None:
+        regions.append({"kind": "exit", "to": "return",
+                        "bound": _bound_json(summary.post)})
+    if summary.through is not None:
+        regions.append({"kind": "through", "to": "return",
+                        "bound": _bound_json(summary.through)})
+    bounds = [region["bound"] for region in regions]
+    unbounded = any(bound is None for bound in bounds)
+    max_bound = None if unbounded or not bounds else max(bounds)
+    return {
+        "function": name,
+        "verdict": "unbounded" if unbounded else "bounded",
+        "max_bound": max_bound,
+        "regions": regions,
+        "loops": loops_meta,
+        "notes": notes,
+    }
+
+
+def certify_module_progress(
+    ir_module,
+    mmodule,
+    cost_model: Optional[CostModel] = None,
+    engine: Optional[DiagnosticEngine] = None,
+    budget: Optional[int] = None,
+    region_budget: Optional[int] = None,
+):
+    """Certify forward progress of a lowered module.
+
+    ``ir_module`` is the instrumented middle-end IR (trip bounds),
+    ``mmodule`` the lowered machine module (cycle costs).  ``budget``
+    is the caller's cycle budget per region (``progress-*`` findings
+    harden to errors against it); ``region_budget`` is the middle end's
+    own ``max_region_cycles`` promise, cross-checked at machine level.
+    Returns ``(engine, certificates)``."""
+    from .summaries import _call_graph_sccs, _calls_self
+
+    costs = cost_model or DEFAULT_COSTS
+    engine = engine or DiagnosticEngine()
+    certificates: List[Dict[str, object]] = []
+    summaries: Dict[str, PathSummary] = {}
+    unbounded_severity = engine.error if budget is not None else engine.warning
+
+    arg_constants = argument_constants(ir_module)
+    trip_bounds = {
+        fn.name: loop_trip_bounds(fn, arg_constants.get(fn.name))
+        for fn in ir_module.defined_functions()
+    }
+
+    for scc in _call_graph_sccs(ir_module):
+        recursive = len(scc) > 1 or _calls_self(scc[0])
+        for fn in scc:
+            mfn = mmodule.functions.get(fn.name)
+            if mfn is None:
+                continue
+            notes: List[str] = []
+            if recursive:
+                summary = PathSummary(UNBOUNDED, {}, None, {})
+                loops_meta: List[Dict[str, object]] = []
+                notes.append("recursive call cycle: no structural bound")
+                unbounded_severity(
+                    "progress-unbounded",
+                    f"@{fn.name}: recursive call cycle "
+                    f"({', '.join(f.name for f in scc)}) — regions spanning "
+                    f"the recursion have no inferable cycle bound",
+                    function=fn.name, level=LEVEL_CERTIFY,
+                )
+            else:
+                try:
+                    summary, loops_meta = _summarize_mfunction(
+                        mfn, costs, trip_bounds.get(fn.name, {}), summaries
+                    )
+                except IrreducibleCFG as exc:
+                    summary = PathSummary(UNBOUNDED, {}, None, {})
+                    loops_meta = []
+                    notes.append(f"unanalysable control flow: {exc}")
+                    unbounded_severity(
+                        "progress-unbounded",
+                        f"@{fn.name}: {exc} — no structural region bound",
+                        function=fn.name, level=LEVEL_CERTIFY,
+                    )
+                for meta in loops_meta:
+                    if meta["trip_bound"] is None and \
+                            meta["checkpoint_free_iteration"]:
+                        unbounded_severity(
+                            "progress-unbounded",
+                            f"@{fn.name}: loop at {meta['header']} has no "
+                            f"inferable trip bound and a checkpoint-free "
+                            f"iteration path — it can livelock under a "
+                            f"short power-on window",
+                            function=fn.name, level=LEVEL_CERTIFY,
+                        )
+            summaries[fn.name] = summary
+            certificate = _certificate(fn.name, summary, loops_meta, notes)
+            certificates.append(certificate)
+
+            max_bound = certificate["max_bound"]
+            if budget is not None and certificate["verdict"] == "bounded" \
+                    and max_bound is not None and max_bound > budget:
+                engine.error(
+                    "progress-budget-exceeded",
+                    f"@{fn.name}: worst-case region bound {max_bound} "
+                    f"cycles exceeds the progress budget {budget}",
+                    function=fn.name, level=LEVEL_CERTIFY,
+                )
+            if region_budget is not None and max_bound is not None \
+                    and max_bound > region_budget:
+                engine.warning(
+                    "progress-region-bound-unsound",
+                    f"@{fn.name}: the middle-end region_bound pass promised "
+                    f"≤ {region_budget} estimated cycles per region, but the "
+                    f"machine-level bound is {max_bound} — the IR estimate "
+                    f"did not survive the back end",
+                    function=fn.name, level=LEVEL_CERTIFY,
+                )
+    certificates.sort(key=lambda cert: cert["function"])
+    return engine, certificates
+
+
+def progress_bound(certificates: List[Dict[str, object]]) -> Optional[int]:
+    """Fold per-function certificates into the program-level region
+    bound (``None`` = unbounded).
+
+    The entry function's summary already composes callee prologue and
+    epilogue gaps at every call site, so only *interior* gaps of the
+    other functions (certified locally, spliced out of call atoms) need
+    to be folded in on top of the entry function's full region list."""
+    best = 0
+    for certificate in certificates:
+        is_entry = certificate["function"] == "main"
+        for region in certificate["regions"]:
+            if not is_entry and region["kind"] not in ("interior",):
+                continue
+            if region["bound"] is None:
+                return None
+            if region["bound"] > best:
+                best = region["bound"]
+    return best
+
+
+def module_progress_verdict(certificates) -> str:
+    """``bounded`` iff every certificate is bounded."""
+    return (
+        "bounded"
+        if all(c["verdict"] == "bounded" for c in certificates)
+        else "unbounded"
+    )
+
+
+__all__ = [
+    "UNBOUNDED", "IrreducibleCFG", "PathSummary",
+    "argument_constants", "loop_trip_bounds", "certify_module_progress",
+    "progress_bound", "module_progress_verdict",
+]

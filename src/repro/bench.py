@@ -84,6 +84,10 @@ def bench_emulation(quick: bool = False) -> Dict[str, Dict[str, float]]:
             "instructions": stats.instructions,
             "seconds": round(elapsed, 4),
             "instrs_per_sec": round(stats.instructions / elapsed),
+            # largest observed inter-checkpoint gap: the dynamic side of
+            # the static progress certificate, tracked per revision so
+            # bound tightness drifts show up in BENCH_*.json diffs
+            "max_region_cycles": stats.max_region_cycles,
         }
     return out
 
@@ -147,8 +151,11 @@ def render_report(path: str) -> str:
         total = sum(per_bench.values())
         lines.append(f"compile {env:<16} {total:7.2f}s total")
     for name, row in report["emulation"].items():
+        region = row.get("max_region_cycles")
+        suffix = f", max region {region:,} cycles" if region else ""
         lines.append(
             f"emulate {name:<16} {row['instrs_per_sec']:>12,} instrs/s"
+            f"{suffix}"
         )
     ev = report["eval"]
     lines.append(

@@ -9,7 +9,7 @@ mini-C dialect with pure-Python reference implementations:
 * ``picojpeg`` — picojpeg-like baseline decoder [17]
 """
 
-from . import aes, coremark, crc, dijkstra, picojpeg, sha, xcall
+from . import aes, coremark, crc, dijkstra, picojpeg, sha, spin, xcall
 from .common import (
     Benchmark,
     Output,
@@ -37,6 +37,7 @@ BENCHMARKS = {
 #: but never part of the evaluated suite
 DIAGNOSTICS = {
     xcall.BENCHMARK.name: xcall.BENCHMARK,
+    spin.BENCHMARK.name: spin.BENCHMARK,
 }
 
 #: display names used in the paper's figures

@@ -47,7 +47,14 @@ int list_reverse(int *next, int head) {
 
 int list_find(int *next, int *values, int head, int target) {
     int cur = head;
-    while (cur >= 0) {
+    int k;
+    /* fuel-bounded traversal: the list has exactly 32 nodes, and an
+       explicit trip bound keeps the (read-only, checkpoint-free) scan
+       statically certifiable for forward progress */
+    for (k = 0; k < 32; k++) {
+        if (cur < 0) {
+            return 0 - 1;
+        }
         if (values[cur] == target) {
             return cur;
         }

@@ -1,0 +1,59 @@
+"""``spin`` — input-dependent-loop progress diagnostic micro-benchmark.
+
+Not part of the paper's six-benchmark suite (it lives in
+``repro.benchsuite.DIAGNOSTICS``, not ``BENCHMARKS``): this program
+exists as the forward-progress certifier's seeded true positive.
+
+The countdown loop decrements by ``stride``, a value *loaded from NVM*,
+so no constant-step induction variable exists and
+:func:`repro.analysis.progress.loop_trip_bounds` cannot close the trip
+count — the loop is statically ``progress-unbounded``.  The body is
+register-only (no stores), so the checkpoint inserter has no WAR hazard
+to cut it with: the whole 50 000-iteration spin sits inside one
+checkpoint-delimited region.
+
+Dynamically that region is ~300 k cycles long.  Under continuous power
+the program completes (``out == 50000``); under any power-on window
+shorter than the region the emulator raises
+:class:`~repro.emulator.NoForwardProgress` — the livelock the
+``progress-unbounded`` diagnostic predicts.  The progress differential
+(:func:`repro.faultinject.run_progress_differential`) checks both
+directions of that prediction.
+"""
+
+from __future__ import annotations
+
+from .common import Benchmark, Output
+
+SPIN_COUNT = 50_000
+
+SOURCE = """
+unsigned int seed = 50000;
+unsigned int stride = 1;
+unsigned int out;
+
+int main(void) {
+    unsigned int x = seed;
+    unsigned int n = 0;
+    while (x != 0) {
+        x = x - stride;
+        n = n + 1;
+    }
+    out = n;
+    return 0;
+}
+"""
+
+
+def reference():
+    return {"out": SPIN_COUNT}
+
+
+BENCHMARK = Benchmark(
+    name="spin",
+    source=SOURCE,
+    outputs=[Output("out")],
+    reference=reference,
+    description="input-dependent-loop progress diagnostic (not in the suite)",
+    max_instructions=2_000_000,
+)

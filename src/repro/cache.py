@@ -61,7 +61,7 @@ COMPILER_VERSION_TAG = "wario-toolchain-1"
 #: verdict changes without a code change that the source fingerprint
 #: would catch — e.g. a certificate schema revision or a new default
 #: certification level — so stale verdicts cannot satisfy new queries.
-ANALYSIS_VERSION_TAG = "idempotence-certifier-1"
+ANALYSIS_VERSION_TAG = "progress-certifier-2"
 
 _FALSY = ("0", "off", "no", "false")
 
@@ -159,17 +159,20 @@ def run_key(program_key: str, power_key: str, war_check: bool,
 
 
 def lint_key(sources, config, name: str = "program",
-             level: str = "full") -> str:
+             level: str = "full", budget=None) -> str:
     """Key of one static WAR-certification verdict (``LintResult``).
 
     ``level`` is the certification depth (``ir`` | ``mir`` | ``full``):
     verdicts at different depths carry different diagnostics and
-    certificates, so they are distinct artifacts.
+    certificates, so they are distinct artifacts.  ``budget`` is the
+    progress certifier's per-region cycle budget — it changes both the
+    diagnostics and their severities, so budgeted verdicts are keyed
+    apart from unbudgeted ones.
     """
     if isinstance(sources, str):
         sources = [sources]
     return _digest("lint", ANALYSIS_VERSION_TAG, name, repr(config), level,
-                   *sources)
+                   f"budget={budget}", *sources)
 
 
 def inject_key(program_key: str, schedule, war_check: bool,

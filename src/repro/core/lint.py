@@ -59,6 +59,10 @@ class LintResult:
     level: str = "full"
     #: per-function idempotence certificates (``level="full"`` only)
     certificates: List[Dict[str, object]] = field(default_factory=list)
+    #: per-function forward-progress certificates (``level="full"`` only)
+    progress: List[Dict[str, object]] = field(default_factory=list)
+    #: the per-region cycle budget the progress certifier was held to
+    budget: Optional[int] = None
 
     @property
     def certified(self) -> bool:
@@ -67,6 +71,16 @@ class LintResult:
     @property
     def exit_code(self) -> int:
         return EXIT_CLEAN if self.certified else EXIT_ERRORS
+
+    @property
+    def progress_bound(self) -> Optional[int]:
+        """Program-level worst-case region cycle bound (None = unbounded
+        or not computed at this level)."""
+        if not self.progress:
+            return None
+        from ..analysis.progress import progress_bound
+
+        return progress_bound(self.progress)
 
 
 def strip_checkpoints(module: Module) -> int:
@@ -93,10 +107,17 @@ def lint_module(
     run_middle: bool = True,
     name: Optional[str] = None,
     level: str = "full",
+    budget: Optional[int] = None,
 ) -> LintResult:
     """Lint an IR module: run the middle end (unless the caller already
     did) and the static verifiers up to ``level``, collecting all
-    diagnostics."""
+    diagnostics.
+
+    ``budget`` is a per-region cycle budget for the forward-progress
+    certifier (``level="full"``): with it set, ``progress-unbounded``
+    hardens from warning to error and any region whose machine-level
+    worst case exceeds the budget raises ``progress-budget-exceeded``.
+    """
     if level not in LEVEL_ORDER:
         raise ValueError(
             f"unknown lint level {level!r} (choose from {LEVEL_ORDER})"
@@ -157,11 +178,13 @@ def lint_module(
         summaries=summaries,
     )
     certificates: List[Dict[str, object]] = []
+    progress: List[Dict[str, object]] = []
     if level == "full" and config.instrument:
         # The certifier's region model assumes checkpoints delimit
         # regions; an uninstrumented build has nothing to certify (the
         # IR verifier already reports why it is unsafe).
         from ..analysis.idempotence import certify_module_idempotence
+        from ..analysis.progress import certify_module_progress
 
         _, certificates = certify_module_idempotence(
             module,
@@ -170,8 +193,15 @@ def lint_module(
             summaries=summaries,
             engine=engine,
         )
+        _, progress = certify_module_progress(
+            module,
+            mmodule,
+            engine=engine,
+            budget=budget,
+            region_budget=config.max_region_cycles,
+        )
     return LintResult(name or module.name, config.name, engine, level,
-                      certificates)
+                      certificates, progress, budget)
 
 
 def lint_sources(
@@ -180,6 +210,7 @@ def lint_sources(
     name: str = "program",
     cache=None,
     level: str = "full",
+    budget: Optional[int] = None,
 ) -> LintResult:
     """Front-end + middle-end + all static verifiers for mini-C sources.
 
@@ -194,7 +225,7 @@ def lint_sources(
     if isinstance(sources, str):
         sources = [sources]
     config = environment(env)
-    key = lint_key(sources, config, name=name, level=level)
+    key = lint_key(sources, config, name=name, level=level, budget=budget)
     store = resolve_cache(cache)
     if store is not None:
         result = store.get(key)
@@ -202,7 +233,7 @@ def lint_sources(
             return result
     module = compile_sources(sources, name)
     verify_module(module)
-    result = lint_module(module, config, name=name, level=level)
+    result = lint_module(module, config, name=name, level=level, budget=budget)
     if store is not None:
         store.put(key, result)
     return result
@@ -212,6 +243,7 @@ def lint_benchmarks(
     names: Union[str, List[str]] = "all",
     env: Union[str, EnvironmentConfig] = "wario",
     level: str = "full",
+    budget: Optional[int] = None,
 ) -> List[LintResult]:
     """Lint benchsuite programs by name (``"all"`` for the whole suite)."""
     from ..benchsuite import BENCHMARKS, get_benchmark
@@ -226,7 +258,8 @@ def lint_benchmarks(
     for bench_name in selected:
         bench = get_benchmark(bench_name)
         results.append(
-            lint_sources(bench.source, env, name=bench_name, level=level)
+            lint_sources(bench.source, env, name=bench_name, level=level,
+                         budget=budget)
         )
     return results
 

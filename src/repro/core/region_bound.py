@@ -30,17 +30,41 @@ from ..ir.instructions import (
 #: Rough middle-end cycle estimates per instruction (the back end expands
 #: some of these into several machine instructions).
 _DEFAULT_COST = 2
-_COSTS = {
-    "load": 3,
-    "store": 3,
-    "call": 8,        # plus the callee, which is bounded separately
-    "udiv": 9,
-    "sdiv": 9,
-    "urem": 12,
-    "srem": 12,
-    "checkpoint": 0,
-    "phi": 0,
-}
+
+
+def _derive_costs(model) -> Dict[str, int]:
+    """Build the middle-end estimate table from the emulator's real
+    :class:`~repro.emulator.costs.CostModel`, so the two cannot silently
+    diverge (``tests/test_region_bound.py`` pins the parity).
+
+    The ``+`` terms are the back end's expansion overhead per IR op:
+    one address-materialising instruction around each memory access,
+    argument marshalling plus the taken-``bl`` refill around each call,
+    and the ``mul``/``sub`` fix-up pair the remainder lowering emits
+    after its division."""
+    base = model.base_costs
+    div = base["udiv"]
+    return {
+        "load": base["ldr"] + 1,
+        "store": base["str"] + 1,
+        # plus the callee, which is bounded separately
+        "call": base["bl"] + model.pipeline_refill + 4,
+        "udiv": div + 1,
+        "sdiv": base["sdiv"] + 1,
+        "urem": div + base["mul"] + base["sub"] + 2,
+        "srem": base["sdiv"] + base["mul"] + base["sub"] + 2,
+        "checkpoint": base["checkpoint"],  # charged as checkpoint_cycles
+        "phi": 0,
+    }
+
+
+def _default_costs() -> Dict[str, int]:
+    from ..emulator.costs import DEFAULT_COSTS
+
+    return _derive_costs(DEFAULT_COSTS)
+
+
+_COSTS = _default_costs()
 
 
 def _cost(instr) -> int:

@@ -97,5 +97,32 @@ class EventTrace:
         """A picklable, cache-stable rendering of the trace."""
         return [tuple(e) for e in self.events]
 
+    def checkpoint_gaps(self, end_cycle: int = None) -> List[int]:
+        """Observed inter-checkpoint gaps, in cycles.
+
+        Each gap runs from the previous region boundary (start of
+        execution, a committed checkpoint, or a post-failure restore) to
+        the next checkpoint commit; pass ``end_cycle`` (the run's final
+        ``stats.cycles``) to also count the trailing partial region.  A
+        ``restore`` resets the boundary without closing a gap — the
+        segment it ends contains boot/restore charges, not region work."""
+        gaps: List[int] = []
+        prev = 0
+        for event in self.events:
+            if event.kind == "checkpoint":
+                gaps.append(event.cycle - prev)
+                prev = event.cycle
+            elif event.kind == "restore":
+                prev = event.cycle
+        if end_cycle is not None:
+            gaps.append(end_cycle - prev)
+        return gaps
+
+    def max_checkpoint_gap(self, end_cycle: int = None) -> int:
+        """Largest observed inter-checkpoint gap (see
+        :meth:`checkpoint_gaps`); 0 for an empty trace."""
+        gaps = self.checkpoint_gaps(end_cycle)
+        return max(gaps) if gaps else 0
+
 
 __all__ = ["EVENT_KINDS", "Event", "EventTrace"]

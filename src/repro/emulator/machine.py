@@ -641,6 +641,7 @@ class Machine:
                         cycles += cost
                         region_cycles += cost
                         stats.halted = True
+                        stats.final_region_cycles = region_cycles
                         stats.instructions = icount
                         stats.cycles = cycles
                         self.pc = pc
@@ -965,6 +966,7 @@ class Machine:
                     stats.cycles += cost
                     self.region_cycles += cost
                     stats.halted = True
+                    stats.final_region_cycles = self.region_cycles
                     return stats
                 self.pc = target - 1
                 taken_branch = True

@@ -21,6 +21,9 @@ class ExecutionStats:
     interrupts: int = 0
     halted: bool = False
     call_counts: Dict[str, int] = field(default_factory=dict)  # per callee
+    #: cycles of the trailing partial region (last checkpoint → halt);
+    #: not in ``region_sizes``, which only records committed checkpoints
+    final_region_cycles: int = 0
 
     def record_checkpoint(self, cause: str, region_cycles: int) -> None:
         self.checkpoints += 1
@@ -49,6 +52,14 @@ class ExecutionStats:
     @property
     def region_max(self) -> int:
         return max(self.region_sizes) if self.region_sizes else 0
+
+    @property
+    def max_region_cycles(self) -> int:
+        """Largest observed inter-checkpoint gap, *including* the
+        trailing partial region that ends at halt rather than at a
+        checkpoint (the quantity the static progress certifier bounds —
+        see :mod:`repro.analysis.progress`)."""
+        return max(self.region_max, self.final_region_cycles)
 
     def summary(self) -> str:
         causes = ", ".join(

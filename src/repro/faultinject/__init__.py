@@ -41,9 +41,14 @@ from .campaign import (
 from .differential import (
     DifferentialConfig,
     DifferentialReport,
+    ProgressDifferentialConfig,
+    ProgressReport,
     full_differential_config,
+    full_progress_config,
     quick_differential_config,
+    quick_progress_config,
     run_differential,
+    run_progress_differential,
 )
 from .plan import PlanConfig, plan_schedules
 from .report import CampaignReport
@@ -52,7 +57,10 @@ __all__ = [
     "CampaignConfig", "CampaignReport", "CellOutcome", "Judged",
     "OracleRecord", "PairResult", "PlanConfig",
     "DifferentialConfig", "DifferentialReport",
-    "full_config", "full_differential_config", "plan_schedules",
-    "quick_config", "quick_differential_config", "run_campaign",
-    "run_differential", "shrink_schedule",
+    "ProgressDifferentialConfig", "ProgressReport",
+    "full_config", "full_differential_config", "full_progress_config",
+    "plan_schedules",
+    "quick_config", "quick_differential_config", "quick_progress_config",
+    "run_campaign", "run_differential", "run_progress_differential",
+    "shrink_schedule",
 ]

@@ -351,9 +351,299 @@ def run_differential(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Progress differential: the static forward-progress certifier
+# (:mod:`repro.analysis.progress`) vs. observed execution
+# ---------------------------------------------------------------------------
+
+#: progress-cell agreement classes
+PROGRESS_SOUND = "progress-sound"
+PROGRESS_UNSOUND = "progress-unsound"
+PROGRESS_TRUE_POSITIVE = "progress-true-positive"
+PROGRESS_INCOMPLETE = "progress-incomplete"
+
+
+@dataclass(frozen=True)
+class ProgressDifferentialConfig:
+    """One progress-differential run over explicit (bench, env) cells.
+
+    Every dynamic run uses continuous power with **no** interrupt load
+    (``interrupt_interval=None``): ISR entry/body/exit cycles land
+    inside regions but are not part of the program the static bound
+    covers, so they would inflate observed gaps past a perfectly sound
+    bound."""
+
+    cells: Tuple[Tuple[str, Env], ...]
+    #: extra on-time cycles granted beyond the guaranteed-progress
+    #: period in the starvation cross-check
+    slack: int = 0
+    #: region allowance for expected-starvation runs of statically
+    #: unbounded cells: on-time = boot + restore + this (must be well
+    #: under the real region length so the cell demonstrably starves)
+    starve_window: int = 2_000
+
+
+def quick_progress_config(**overrides) -> ProgressDifferentialConfig:
+    """The CI/test-sized run: two suite programs plus the seeded
+    ``spin`` true positive."""
+    cells = [
+        ("crc", "wario"),
+        ("sha", "ratchet"),
+        ("spin", "wario"),
+    ]
+    defaults = dict(cells=tuple(cells))
+    defaults.update(overrides)
+    return ProgressDifferentialConfig(**defaults)
+
+
+def full_progress_config(**overrides) -> ProgressDifferentialConfig:
+    """The thorough run: all six suite benchmarks under wario and
+    ratchet, plus the seeded ``spin`` true positive under both."""
+    from ..benchsuite import BENCHMARKS
+
+    cells = [
+        (bench, env)
+        for bench in BENCHMARKS
+        for env in ("wario", "ratchet")
+    ] + [("spin", "wario"), ("spin", "ratchet")]
+    defaults = dict(cells=tuple(cells))
+    defaults.update(overrides)
+    return ProgressDifferentialConfig(**defaults)
+
+
+@dataclass
+class ProgressCellVerdict:
+    """Static bound vs. observed gaps for one cell."""
+
+    bench: str
+    env: str
+    #: program-level static region bound (None = unbounded)
+    static_bound: Optional[int]
+    #: largest inter-checkpoint gap observed under continuous power
+    dynamic_max_gap: int
+    #: dynamic/static (None for unbounded cells)
+    tightness: Optional[float]
+    #: the guaranteed-progress on-time the starvation check ran at
+    #: (bounded cells), or the deliberately-short on-time (unbounded)
+    on_time: int
+    #: 'completed' | 'starved'
+    starvation: str
+    agreement: str
+
+    @property
+    def hard_failure(self) -> bool:
+        return self.agreement == PROGRESS_UNSOUND
+
+
+@dataclass
+class ProgressReport:
+    """The outcome of one :func:`run_progress_differential`."""
+
+    config: ProgressDifferentialConfig
+    cells: List[ProgressCellVerdict] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[ProgressCellVerdict]:
+        return [cell for cell in self.cells if cell.hard_failure]
+
+    @property
+    def certified(self) -> bool:
+        return not self.failures
+
+    def to_dict(self):
+        return {
+            "certified": self.certified,
+            "cells": [
+                {
+                    "bench": cell.bench,
+                    "env": cell.env,
+                    "static_bound": cell.static_bound,
+                    "dynamic_max_gap": cell.dynamic_max_gap,
+                    "tightness": cell.tightness,
+                    "on_time": cell.on_time,
+                    "starvation": cell.starvation,
+                    "agreement": cell.agreement,
+                    "hard_failure": cell.hard_failure,
+                }
+                for cell in self.cells
+            ],
+            "config": {
+                "cells": [
+                    [bench, env_name(env)] for bench, env in self.config.cells
+                ],
+                "slack": self.config.slack,
+                "starve_window": self.config.starve_window,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = []
+        for cell in self.cells:
+            mark = "FAIL" if cell.hard_failure else "ok"
+            bound = ("unbounded" if cell.static_bound is None
+                     else str(cell.static_bound))
+            ratio = ("-" if cell.tightness is None
+                     else f"{cell.tightness:.3f}")
+            lines.append(
+                f"{mark:>4s} {cell.bench:>8s} × {cell.env:<12s}"
+                f" {cell.agreement:<22s} static={bound:>9s}"
+                f" observed={cell.dynamic_max_gap:>8d}"
+                f" tightness={ratio:>6s}"
+                f" @on-time={cell.on_time}: {cell.starvation}"
+            )
+        verdict = "SOUND" if self.certified else "UNSOUND"
+        lines.append(
+            f"progress differential {verdict}: "
+            f"{len(self.cells) - len(self.failures)}/{len(self.cells)} "
+            f"cells consistent"
+        )
+        return "\n".join(lines)
+
+    def diagnostics(self) -> List[Diagnostic]:
+        """Export disagreements: ``progress-unsound`` (ERROR) when an
+        observed gap exceeded its static bound or a cell certified to
+        progress at budget B starved with on-time ≥ B;
+        ``progress-incomplete`` (WARNING) when a statically unbounded
+        cell failed to starve within its expected-starvation window."""
+        out = []
+        for cell in self.cells:
+            where = f"{cell.bench}/{cell.env}"
+            if cell.agreement == PROGRESS_UNSOUND:
+                if cell.static_bound is not None \
+                        and cell.dynamic_max_gap > cell.static_bound:
+                    detail = (
+                        f"observed inter-checkpoint gap "
+                        f"{cell.dynamic_max_gap} exceeds the static bound "
+                        f"{cell.static_bound}"
+                    )
+                else:
+                    detail = (
+                        f"certified to progress at {cell.static_bound} "
+                        f"cycles/region but starved with on-time "
+                        f"{cell.on_time}"
+                    )
+                out.append(Diagnostic(
+                    ERROR, "progress-unsound", f"{where}: {detail}",
+                    function=cell.bench, level=LEVEL_CAMPAIGN,
+                ))
+            elif cell.agreement == PROGRESS_INCOMPLETE:
+                out.append(Diagnostic(
+                    WARNING, "progress-incomplete",
+                    f"{where}: statically unbounded but completed under "
+                    f"on-time {cell.on_time} (over-approximation)",
+                    function=cell.bench, level=LEVEL_CAMPAIGN,
+                ))
+        return out
+
+
+def _progress_static(bench_name: str, env: Env, cache) -> Optional[int]:
+    """The program-level static region bound of one cell."""
+    from ..benchsuite import get_benchmark
+    from ..core.lint import lint_sources
+
+    bench = get_benchmark(bench_name)
+    result = lint_sources(
+        bench.source, env, name=bench_name, cache=cache, level="full"
+    )
+    return result.progress_bound
+
+
+def _progress_dynamic(bench_name: str, env: Env, bound: Optional[int],
+                      config: ProgressDifferentialConfig, cache):
+    """Observe one cell: continuous-power harvest of the real
+    inter-checkpoint gaps, then the starvation cross-check.
+
+    Returns ``(max_gap, on_time, starvation)``."""
+    from ..benchsuite import get_benchmark, verify_outputs
+    from ..core import iclang
+    from ..emulator import Machine, NoForwardProgress
+    from ..emulator.costs import DEFAULT_COSTS
+    from ..emulator.events import EventTrace
+    from ..emulator.power import FixedPeriodPower
+
+    bench = get_benchmark(bench_name)
+    program = iclang(bench.source, env, name=bench_name, cache=cache)
+    trace = EventTrace()
+    machine = Machine(program, war_check=True, trace=trace)
+    stats = machine.run(max_instructions=bench.max_instructions)
+    max_gap = max(trace.max_checkpoint_gap(stats.cycles),
+                  stats.max_region_cycles)
+
+    costs = DEFAULT_COSTS
+    overhead = costs.boot_cycles + costs.restore_cycles
+    if bound is not None:
+        # Guaranteed-progress on-time: boot + restore + the worst
+        # region + the commit that seals it, plus one cycle so the
+        # period strictly covers the region (the emulator fails a
+        # period the instant cost would exceed it).
+        on_time = (overhead + bound + costs.checkpoint_cycles + 1
+                   + config.slack)
+    else:
+        on_time = overhead + config.starve_window
+    replay = Machine(program, war_check=True)
+    try:
+        replay_stats = replay.run(
+            power=FixedPeriodPower(on_time),
+            max_instructions=bench.max_instructions * 4,
+        )
+        if replay_stats.halted:
+            verify_outputs(bench, replay)
+            starvation = "completed"
+        else:
+            starvation = "starved"
+    except NoForwardProgress:
+        starvation = "starved"
+    return max_gap, on_time, starvation
+
+
+def _progress_agreement(bound: Optional[int], max_gap: int,
+                        starvation: str) -> str:
+    if bound is None:
+        return (PROGRESS_TRUE_POSITIVE if starvation == "starved"
+                else PROGRESS_INCOMPLETE)
+    if max_gap > bound or starvation == "starved":
+        return PROGRESS_UNSOUND
+    return PROGRESS_SOUND
+
+
+def run_progress_differential(
+    config: ProgressDifferentialConfig, cache=None
+) -> ProgressReport:
+    """Cross-validate the static progress certifier over every cell:
+    no observed inter-checkpoint gap may exceed its static bound, a
+    bounded cell must complete at the guaranteed-progress on-time, and
+    an unbounded cell is expected to starve at a short one."""
+    report = ProgressReport(config=config)
+    for bench_name, env in config.cells:
+        bound = _progress_static(bench_name, env, cache)
+        max_gap, on_time, starvation = _progress_dynamic(
+            bench_name, env, bound, config, cache
+        )
+        tightness = (max_gap / bound) if bound else None
+        report.cells.append(ProgressCellVerdict(
+            bench=bench_name,
+            env=env_name(env),
+            static_bound=bound,
+            dynamic_max_gap=max_gap,
+            tightness=tightness,
+            on_time=on_time,
+            starvation=starvation,
+            agreement=_progress_agreement(bound, max_gap, starvation),
+        ))
+    return report
+
+
 __all__ = [
     "AGREEMENTS", "AGREE_CLEAN", "AGREE_DIRTY", "INCOMPLETE", "UNSOUND",
     "CellVerdict", "DifferentialConfig", "DifferentialReport",
     "full_differential_config", "quick_differential_config",
     "run_differential", "seeded_knobs",
+    "PROGRESS_SOUND", "PROGRESS_UNSOUND", "PROGRESS_TRUE_POSITIVE",
+    "PROGRESS_INCOMPLETE",
+    "ProgressCellVerdict", "ProgressDifferentialConfig", "ProgressReport",
+    "full_progress_config", "quick_progress_config",
+    "run_progress_differential",
 ]
