@@ -276,8 +276,8 @@ def _cmd_lint(args) -> int:
     if args.certificates:
         payload = [
             {"program": r.name, "env": r.env, "certificates": r.certificates,
-             "progress": r.progress, "budget": r.budget,
-             "progress_bound": r.progress_bound}
+             "progress": r.progress, "placement": r.placement,
+             "budget": r.budget, "progress_bound": r.progress_bound}
             for r in results
         ]
         with open(args.certificates, "w") as handle:
@@ -308,6 +308,10 @@ def _cmd_lint(args) -> int:
                 verdict += (
                     f", progress bound {bound} cycles/region"
                     if bound is not None else ", progress unbounded"
+                )
+            if result.placement:
+                verdict += (
+                    f", {len(result.placement)} checkpoint(s) elided"
                 )
             print(f"{result.name} [{result.env}]: {verdict}")
             if not result.engine.clean:
@@ -464,6 +468,8 @@ def _cmd_envs(_args) -> int:
                 bits.append("expander")
             if config.call_summaries:
                 bits.append("call-summaries")
+            if config.checkpoint_elim:
+                bits.append("checkpoint-elim")
             bits.append(f"spill={config.spill_checkpoint_mode}")
             bits.append(f"epilogue={config.epilogue_style}")
         print(f"{name:<22} {', '.join(bits)}")

@@ -26,6 +26,11 @@ from .pointsto import (
     compute_points_to,
     report_top_causes,
 )
+from .redundancy import (
+    DEFAULT_ELISION_BUDGET,
+    ElisionDecision,
+    RedundancyAnalysis,
+)
 from .static_war import (
     StaticWARError,
     verify_function_war,
@@ -49,5 +54,6 @@ __all__ = [
     "FORWARD", "BACKWARD", "summary_sets_intersect",
     "MAX_GEP_DEPTH", "TopCause", "compute_points_to", "report_top_causes",
     "AndersenPointsTo", "FunctionSummary", "SummaryTable", "compute_summaries",
+    "DEFAULT_ELISION_BUDGET", "ElisionDecision", "RedundancyAnalysis",
     "StaticWARError", "verify_function_war", "verify_module_war",
 ]

@@ -163,7 +163,14 @@ class _FunctionWARAnalysis(DataflowProblem):
 
     A forward may-analysis on the shared engine: the in-state seed is
     the empty fact map for every reachable block, facts union at joins,
-    and a back edge tags everything it carries with ``BK``."""
+    and a back edge tags everything it carries with ``BK``.
+
+    ``ignore`` is a set of instruction ids (checkpoints only) treated as
+    absent: facts flow straight through them, so the analysis sees the
+    two adjacent regions *abstractly merged*.  The redundancy analysis
+    (:mod:`repro.analysis.redundancy`) uses this to ask "would the
+    module still verify if this checkpoint were elided?" without
+    mutating the IR."""
 
     def __init__(
         self,
@@ -172,12 +179,14 @@ class _FunctionWARAnalysis(DataflowProblem):
         li: LoopInfo,
         calls_are_checkpoints: bool,
         summaries=None,
+        ignore=frozenset(),
     ):
         self.function = function
         self.aa = aa
         self.li = li
         self.calls_are_checkpoints = calls_are_checkpoints
         self.summaries = summaries
+        self.ignore = frozenset(ignore)
         self.back_edges = retreating_edges(function)
         self.in_states: Dict[int, State] = {id(b): {} for b in function.blocks}
 
@@ -185,6 +194,9 @@ class _FunctionWARAnalysis(DataflowProblem):
     def _transfer_block(self, block, state: State, report=None) -> State:
         state = dict(state)
         for idx, instr in enumerate(block.instructions):
+            if id(instr) in self.ignore and isinstance(instr, Checkpoint):
+                # abstract region merge: the elision candidate is absent
+                continue
             if _is_barrier(instr, self.calls_are_checkpoints, self.summaries):
                 state.clear()
                 if isinstance(instr, Call):

@@ -37,6 +37,9 @@ class Program:
     #: content-address of this program in :mod:`repro.cache` (set by
     #: ``iclang``); empty for programs built by hand from MIR.
     cache_key: str = ""
+    #: middle-end checkpoints removed by the certificate-guided elision
+    #: pass (:mod:`repro.core.checkpoint_elim`); 0 when the pass was off
+    elisions: int = 0
 
     @property
     def entry(self) -> int:

@@ -8,6 +8,10 @@ diff:
   every cache layer disabled (the honest front-to-back pipeline cost);
 * **emulation** — emulated instructions per second of the predecoded
   interpreter on each benchmark (continuous power, WAR checking off);
+* **elision** — executed-checkpoint and total-cycle deltas of the
+  certificate-guided elision environments (``wario-opt``,
+  ``ratchet-opt``) against their baselines, with the statically elided
+  count per cell;
 * **eval** — wall-clock seconds of a full figure regeneration in a
   subprocess, cold (empty cache directory) then warm (same directory),
   plus the resulting speedup.
@@ -88,7 +92,54 @@ def bench_emulation(quick: bool = False) -> Dict[str, Dict[str, float]]:
             # the static progress certificate, tracked per revision so
             # bound tightness drifts show up in BENCH_*.json diffs
             "max_region_cycles": stats.max_region_cycles,
+            # executed checkpoint count: the runtime quantity the
+            # certificate-guided elision pass optimises
+            "checkpoints_executed": stats.checkpoints,
         }
+    return out
+
+
+#: baseline → elision-optimised environment pairs the elision table
+#: compares (the opt env differs from its baseline by ``call_summaries``
+#: + ``checkpoint_elim``; the static ``elided`` count isolates the
+#: second factor)
+ELISION_PAIRS = (("wario", "wario-opt"), ("ratchet", "ratchet-opt"))
+
+
+def bench_elision(quick: bool = False) -> Dict[str, Dict[str, object]]:
+    """Executed-checkpoint and total-cycle deltas of the
+    certificate-guided elision environments against their baselines."""
+    benches = ["crc"] if quick else list(BENCHMARKS)
+    out: Dict[str, Dict[str, object]] = {}
+    for base_env, opt_env in ELISION_PAIRS:
+        rows: Dict[str, object] = {}
+        for name in benches:
+            bench = BENCHMARKS[name]
+            cells = {}
+            elided = 0
+            for env in (base_env, opt_env):
+                program = compile_benchmark(bench, env)
+                stats = Machine(program, war_check=False).run(
+                    max_instructions=bench.max_instructions
+                )
+                cells[env] = stats
+                if env == opt_env:
+                    elided = getattr(program, "elisions", 0)
+            base, opt = cells[base_env], cells[opt_env]
+            rows[name] = {
+                "checkpoints_executed": {
+                    base_env: base.checkpoints, opt_env: opt.checkpoints,
+                    "delta": opt.checkpoints - base.checkpoints,
+                },
+                "cycles": {
+                    base_env: base.cycles, opt_env: opt.cycles,
+                    "delta": opt.cycles - base.cycles,
+                },
+                # statically elided middle-end checkpoints (certificates
+                # audited by ``repro lint --level full``)
+                "elided": elided,
+            }
+        out[f"{base_env}->{opt_env}"] = rows
     return out
 
 
@@ -134,6 +185,7 @@ def run_bench(quick: bool = False, output: Optional[str] = None) -> str:
         "default_jobs": default_jobs(),
         "compile": bench_compile(quick=quick),
         "emulation": bench_emulation(quick=quick),
+        "elision": bench_elision(quick=quick),
         "eval": bench_eval(quick=quick),
     }
     path = output or f"BENCH_{report['revision']}.json"
@@ -157,6 +209,18 @@ def render_report(path: str) -> str:
             f"emulate {name:<16} {row['instrs_per_sec']:>12,} instrs/s"
             f"{suffix}"
         )
+    for pair, rows in report.get("elision", {}).items():
+        base_env, opt_env = pair.split("->")
+        for name, row in rows.items():
+            ckpt = row["checkpoints_executed"]
+            cyc = row["cycles"]
+            pct = cyc["delta"] / cyc[base_env] * 100 if cyc[base_env] else 0.0
+            lines.append(
+                f"elide   {name:<10} {pair:<22} "
+                f"ckpt {ckpt[base_env]:>6,} -> {ckpt[opt_env]:>6,} "
+                f"({ckpt['delta']:+d}), cycles {pct:+.2f}%, "
+                f"{row['elided']} elided statically"
+            )
     ev = report["eval"]
     lines.append(
         f"eval ({'+'.join(ev['experiments'])}): cold {ev['cold_seconds']}s, "
@@ -166,6 +230,6 @@ def render_report(path: str) -> str:
 
 
 __all__ = [
-    "bench_compile", "bench_emulation", "bench_eval",
+    "bench_compile", "bench_elision", "bench_emulation", "bench_eval",
     "render_report", "run_bench",
 ]

@@ -61,7 +61,7 @@ COMPILER_VERSION_TAG = "wario-toolchain-1"
 #: verdict changes without a code change that the source fingerprint
 #: would catch — e.g. a certificate schema revision or a new default
 #: certification level — so stale verdicts cannot satisfy new queries.
-ANALYSIS_VERSION_TAG = "progress-certifier-2"
+ANALYSIS_VERSION_TAG = "placement-certifier-3"
 
 _FALSY = ("0", "off", "no", "false")
 

@@ -1,6 +1,11 @@
 """repro.core — WARio itself: the paper's compiler transformations and
 the ``iclang`` driver that orchestrates them (paper §3/§4)."""
 
+from .checkpoint_elim import (
+    ElisionReport,
+    audit_elisions,
+    elide_redundant_checkpoints,
+)
 from .checkpoint_inserter import (
     insert_checkpoints,
     insert_function_checkpoints,
@@ -34,6 +39,7 @@ from .pipeline import (
 from .write_clusterer import cluster_writes
 
 __all__ = [
+    "ElisionReport", "audit_elisions", "elide_redundant_checkpoints",
     "insert_checkpoints", "insert_function_checkpoints",
     "war_candidate_positions",
     "expand",

@@ -24,7 +24,8 @@ from ..ir.instructions import CKPT_MIDDLE_END, Checkpoint
 from .hitting_set import greedy_hitting_set
 
 
-def insert_checkpoints(module, alias_mode: str = "precise", summaries=None) -> int:
+def insert_checkpoints(module, alias_mode: str = "precise", summaries=None,
+                       points_to=None) -> int:
     """Break every WAR violation in every function; returns the number of
     checkpoints inserted.
 
@@ -32,13 +33,19 @@ def insert_checkpoints(module, alias_mode: str = "precise", summaries=None) -> i
     the relaxed call model applies: transparent callees are not barriers,
     and their ref/mod sets participate as WAR endpoints, so a checkpoint
     in the caller can break a WAR that spans the call.
-    """
-    from ..analysis.pointsto import compute_points_to
 
-    if summaries is not None:
-        points_to = summaries.arg_points_to
-    else:
-        points_to = compute_points_to(module)
+    ``points_to`` is an optional precomputed whole-program points-to map:
+    a caller that already solved Andersen's analysis (the pipeline shares
+    one solve between this pass and the elision pass) threads it through
+    instead of paying a duplicate whole-program solve here.
+    """
+    if points_to is None:
+        if summaries is not None:
+            points_to = summaries.arg_points_to
+        else:
+            from ..analysis.pointsto import compute_points_to
+
+            points_to = compute_points_to(module)
     total = 0
     for function in module.defined_functions():
         total += insert_function_checkpoints(

@@ -61,6 +61,9 @@ class LintResult:
     certificates: List[Dict[str, object]] = field(default_factory=list)
     #: per-function forward-progress certificates (``level="full"`` only)
     progress: List[Dict[str, object]] = field(default_factory=list)
+    #: per-elision placement certificates, audited
+    #: (``level="full"`` with ``checkpoint_elim`` environments only)
+    placement: List[Dict[str, object]] = field(default_factory=list)
     #: the per-region cycle budget the progress certifier was held to
     budget: Optional[int] = None
 
@@ -179,6 +182,7 @@ def lint_module(
     )
     certificates: List[Dict[str, object]] = []
     progress: List[Dict[str, object]] = []
+    placement: List[Dict[str, object]] = []
     if level == "full" and config.instrument:
         # The certifier's region model assumes checkpoints delimit
         # regions; an uninstrumented build has nothing to certify (the
@@ -200,8 +204,19 @@ def lint_module(
             budget=budget,
             region_budget=config.max_region_cycles,
         )
+        report = getattr(module, "elision_report", None)
+        if report is not None:
+            # Audit the elision pass's own certificates: every removed
+            # checkpoint must carry three discharged sub-proofs.  This
+            # is the fourth certificate family (``placement-*``); the
+            # three independent verifiers above re-certify the elided
+            # module end-to-end, so an unsound elision trips both.
+            from .checkpoint_elim import audit_elisions
+
+            audit_elisions(report, engine)
+            placement = report.certificates
     return LintResult(name or module.name, config.name, engine, level,
-                      certificates, progress, budget)
+                      certificates, progress, placement, budget)
 
 
 def lint_sources(

@@ -18,6 +18,10 @@ One call takes mini-C sources to an executable image through a named
 ``wario-summaries``       WARio + interprocedural mod/ref summaries
                           (cross-call checkpoint elision)
 ``ratchet-summaries``     Ratchet's alias analysis + the relaxed call model
+``wario-opt``             WARio + summaries + certificate-guided checkpoint
+                          elision (:mod:`repro.core.checkpoint_elim`)
+``ratchet-opt``           ratchet-summaries + certificate-guided checkpoint
+                          elision
 ========================  ==========================================================
 """
 
@@ -64,6 +68,22 @@ class EnvironmentConfig:
     #: (:mod:`repro.analysis.summaries`) and elide entry/epilogue
     #: checkpoints for transparent (summarised WAR-free) callees
     call_summaries: bool = False
+    #: certificate-guided checkpoint elision
+    #: (:mod:`repro.core.checkpoint_elim`): after insertion, elide every
+    #: middle-end checkpoint whose merged region re-discharges all three
+    #: certification legs (WAR-freedom, idempotence, progress budget)
+    checkpoint_elim: bool = False
+    #: estimated-cycle cap for an elision-merged region (None: the
+    #: region-bound budget ``max_region_cycles`` if set, else
+    #: :data:`repro.analysis.redundancy.DEFAULT_ELISION_BUDGET`)
+    elision_budget: Optional[int] = None
+    #: TEST-ONLY fault seeding: force-elide the Nth middle-end
+    #: checkpoint (program order, counted like ``drop_checkpoint``)
+    #: without requiring its elision proofs to discharge.  The
+    #: certificate audit and the fault-injection campaign must both
+    #: catch it; no named environment ever sets it.  Requires
+    #: ``checkpoint_elim``.
+    force_unsafe_elision: Optional[int] = None
     #: TEST-ONLY fault seeding: drop the Nth middle-end checkpoint after
     #: insertion.  The fault-injection campaign's mutation tests use this
     #: to prove the differential certifier catches a real consistency
@@ -145,6 +165,28 @@ ENVIRONMENTS: Dict[str, EnvironmentConfig] = {
         alias_mode=CONSERVATIVE,
         call_summaries=True,
     ),
+    "wario-opt": EnvironmentConfig(
+        # Everything on: WARio + summaries + certificate-guided
+        # checkpoint elision.  Every elision carries a machine-checkable
+        # placement certificate and the module is re-certified end to
+        # end, so the optimisation cannot trade safety for speed.
+        "wario-opt",
+        loop_write_clusterer=True,
+        write_clusterer=True,
+        spill_checkpoint_mode="hitting-set",
+        epilogue_style="wario",
+        call_summaries=True,
+        checkpoint_elim=True,
+    ),
+    "ratchet-opt": EnvironmentConfig(
+        # ratchet-summaries + certificate-guided elision: shows the
+        # optimiser also recovers redundancy the conservative alias
+        # analysis forces the inserter to create.
+        "ratchet-opt",
+        alias_mode=CONSERVATIVE,
+        call_summaries=True,
+        checkpoint_elim=True,
+    ),
 }
 
 
@@ -193,7 +235,10 @@ def run_middle_end(
 
     Returns the :class:`~repro.analysis.summaries.SummaryTable` when
     ``config.call_summaries`` is set (the back end needs the transparent
-    set), else ``None``.
+    set), else ``None``.  With ``config.checkpoint_elim`` the
+    certificate-guided elision pass runs after insertion and its
+    :class:`~repro.core.checkpoint_elim.ElisionReport` is attached to
+    the module as ``module.elision_report`` (the lint driver audits it).
     """
     optimize_module(module)
     if config.volatile_cache:
@@ -218,13 +263,37 @@ def run_middle_end(
             from ..analysis.summaries import compute_summaries
 
             summaries = compute_summaries(module, alias_mode=config.alias_mode)
+            points_to = summaries.arg_points_to
+        else:
+            # One Andersen solve for the whole middle end: the inserter
+            # and the elision pass share it instead of each recomputing.
+            from ..analysis.pointsto import compute_points_to
+
+            points_to = compute_points_to(module)
         insert_checkpoints(
-            module, alias_mode=config.alias_mode, summaries=summaries
+            module, alias_mode=config.alias_mode, summaries=summaries,
+            points_to=points_to,
         )
         if config.max_region_cycles is not None:
             from .region_bound import bound_region_sizes
 
             bound_region_sizes(module, config.max_region_cycles)
+        if config.force_unsafe_elision is not None and not config.checkpoint_elim:
+            raise ValueError(
+                "force_unsafe_elision requires checkpoint_elim (the knob "
+                "seeds a bug inside the elision pass)"
+            )
+        if config.checkpoint_elim:
+            from .checkpoint_elim import elide_redundant_checkpoints
+
+            module.elision_report = elide_redundant_checkpoints(
+                module,
+                alias_mode=config.alias_mode,
+                summaries=summaries,
+                points_to=points_to,
+                budget=config.elision_budget or config.max_region_cycles,
+                force_unsafe=config.force_unsafe_elision,
+            )
         if config.drop_checkpoint is not None:
             _drop_nth_checkpoint(module, config.drop_checkpoint)
     verify_module(module)
@@ -277,7 +346,13 @@ def compile_ir(
         )
         if engine.has_errors:
             raise StaticWARError(engine)
-    return encode_module(mmodule)
+    program = encode_module(mmodule)
+    report = getattr(module, "elision_report", None)
+    if report is not None:
+        # ride the elision count on the program so bench/eval cells can
+        # report the optimisation trajectory without recompiling
+        program.elisions = report.elided
+    return program
 
 
 def iclang(

@@ -64,17 +64,24 @@ class CampaignConfig:
 
 
 def full_config(**overrides) -> CampaignConfig:
-    """The six-benchmark suite under ``wario`` and ``ratchet``."""
-    defaults = dict(benches=tuple(BENCHMARKS), envs=("wario", "ratchet"))
+    """The six-benchmark suite under ``wario``, ``ratchet`` and their
+    elision-optimised counterparts."""
+    defaults = dict(
+        benches=tuple(BENCHMARKS),
+        envs=("wario", "ratchet", "wario-opt", "ratchet-opt"),
+    )
     defaults.update(overrides)
     return CampaignConfig(**defaults)
 
 
 def quick_config(**overrides) -> CampaignConfig:
-    """The CI-sized smoke campaign: two benchmarks, tiny budgets."""
+    """The CI-sized smoke campaign: two benchmarks, tiny budgets.
+
+    ``wario-opt`` rides along so every elided build is exercised against
+    the continuous-power oracle on each CI run."""
     defaults = dict(
         benches=("crc", "sha"),
-        envs=("wario", "ratchet"),
+        envs=("wario", "ratchet", "wario-opt"),
         event_cap=2,
         interior_points=2,
         post_restore=1,

@@ -30,10 +30,10 @@ violated         clean            ``incomplete`` — hard failure when
 ===============  ===============  ==================================
 
 Seeded mutation knobs (``EnvironmentConfig.drop_checkpoint`` /
-``skip_pop_conversion`` / ``drop_epilog_mask``) provide known-bad cells
-so the harness validates both directions: the certifier must flag every
-seeded bug, and the campaign must reproduce each one dynamically in the
-same cell.
+``skip_pop_conversion`` / ``drop_epilog_mask`` /
+``force_unsafe_elision``) provide known-bad cells so the harness
+validates both directions: the certifier must flag every seeded bug,
+and the campaign must reproduce each one dynamically in the same cell.
 """
 
 from __future__ import annotations
@@ -65,6 +65,8 @@ def seeded_knobs(env: Env) -> Tuple[str, ...]:
         knobs.append("skip_pop_conversion")
     if config.drop_epilog_mask:
         knobs.append("drop_epilog_mask")
+    if config.force_unsafe_elision is not None:
+        knobs.append(f"force_unsafe_elision={config.force_unsafe_elision}")
     return tuple(knobs)
 
 
@@ -88,11 +90,13 @@ class DifferentialConfig:
 
 
 def _mutant_cells() -> List[Tuple[str, Env]]:
-    """The three seeded true-positive cells, one per mutation knob,
+    """The four seeded true-positive cells, one per mutation knob,
     each paired with the program that makes the bug observable.
 
-    ``xcall`` carries all three: its live middle-end checkpoint is
-    index 1 (index 0 lands in the inlined-away ``work`` copy), its
+    ``xcall`` carries all four: its live middle-end checkpoint is
+    index 1 (index 0 lands in the inlined-away ``work`` copy — the same
+    counting ``force_unsafe_elision`` uses, so index 1 force-elides a
+    checkpoint whose merged-region sub-proofs demonstrably fail), its
     Ratchet epilogues pop callee-saved groups, and its cross-call frame
     read makes the exposed WARio release reachable only through the
     certifier's mod/ref facts.
@@ -110,16 +114,21 @@ def _mutant_cells() -> List[Tuple[str, Env]]:
             ENVIRONMENTS["wario-summaries"],
             name="wario-summaries+drop-epilog-mask", drop_epilog_mask=True,
         )),
+        ("xcall", replace(
+            ENVIRONMENTS["wario-opt"],
+            name="wario-opt+force-unsafe-elision", force_unsafe_elision=1,
+        )),
     ]
 
 
 def quick_differential_config(**overrides) -> DifferentialConfig:
     """The CI/test-sized run: the ``xcall`` diagnostic under its clean
-    environments plus the three seeded mutants (seconds, not minutes)."""
+    environments plus the four seeded mutants (seconds, not minutes)."""
     cells = [
         ("xcall", "wario"),
         ("xcall", "ratchet"),
         ("xcall", "wario-summaries"),
+        ("xcall", "wario-opt"),
     ] + _mutant_cells()
     defaults = dict(cells=tuple(cells))
     defaults.update(overrides)
@@ -128,11 +137,12 @@ def quick_differential_config(**overrides) -> DifferentialConfig:
 
 def full_differential_config(**overrides) -> DifferentialConfig:
     """The thorough run: a clean benchmark × environment matrix plus the
-    three seeded mutants."""
+    four seeded mutants."""
     cells = [
         (bench, env)
         for bench in ("crc", "sha", "xcall")
-        for env in ("wario", "ratchet", "wario-summaries")
+        for env in ("wario", "ratchet", "wario-summaries",
+                    "wario-opt", "ratchet-opt")
     ] + _mutant_cells()
     defaults = dict(cells=tuple(cells))
     defaults.update(overrides)

@@ -69,6 +69,8 @@ ALL_ENVIRONMENTS = (
     "wario-expander",
     "wario-summaries",
     "ratchet-summaries",
+    "wario-opt",
+    "ratchet-opt",
 )
 
 INSTRUMENTED = tuple(e for e in ALL_ENVIRONMENTS if e != "plain")

@@ -26,6 +26,7 @@ class TestEnvironments:
             "plain", "ratchet", "r-pdg", "epilog-optimizer",
             "write-clusterer", "loop-write-clusterer", "wario",
             "wario-expander", "wario-summaries", "ratchet-summaries",
+            "wario-opt", "ratchet-opt",
         }
 
     def test_environment_lookup(self):
