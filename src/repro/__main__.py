@@ -9,9 +9,11 @@ Usage::
     python -m repro lint --benchmark all --env wario-expander --format json
     python -m repro analyze --benchmark all --env wario-summaries
     python -m repro inject --quick -o report.json
-    python -m repro cache stats
+    python -m repro cache stats -o json
     python -m repro bench --quick
-    python -m repro envs
+    python -m repro envs -o json
+    python -m repro serve --port 9123
+    python -m repro loadtest --quick
 
 ``compile`` prints (or writes) a disassembly listing plus size/static
 statistics; ``run`` executes on the emulator and reports execution
@@ -24,7 +26,10 @@ against the continuous-power oracle (exit 0 certified, 1 findings, 2
 campaign failure — see ``docs/FAULT_INJECTION.md``); ``cache`` inspects
 or clears the content-addressed compile cache; ``bench`` measures the toolchain's own performance (see
 ``docs/PERFORMANCE.md``); ``envs`` lists the available software
-environments.
+environments; ``serve`` runs the long-lived compiler-as-a-service
+(JSON over TCP — see ``docs/SERVING.md``); ``loadtest`` drives a
+concurrent mixed workload against it and reports throughput, latency
+percentiles, cache hit rate, and dedup counts.
 """
 
 from __future__ import annotations
@@ -32,7 +37,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .backend.disasm import disassemble
 from .core import ENVIRONMENTS, iclang
 from .core.lint import (
     EXIT_CLEAN,
@@ -172,6 +176,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("action", choices=("stats", "clear"),
                          help="'stats' prints entry counts and staleness; "
                               "'clear' removes every entry")
+    cache_p.add_argument("-o", "--format", dest="format",
+                         choices=("text", "json"), default="text",
+                         help="stats output format (json includes the live "
+                              "hit/miss/store counters)")
 
     bench_p = sub.add_parser(
         "bench", help="measure toolchain performance, write BENCH_<rev>.json"
@@ -181,7 +189,67 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("-o", "--output", default=None,
                          help="report path (default: BENCH_<git rev>.json)")
 
-    sub.add_parser("envs", help="list the software environments")
+    envs_p = sub.add_parser("envs", help="list the software environments")
+    envs_p.add_argument("-o", "--format", dest="format",
+                        choices=("text", "json"), default="text",
+                        help="output format (json is the machine-readable "
+                             "listing the pipeline server also returns)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="long-lived compile/analysis server (JSON over TCP, see "
+             "docs/SERVING.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=9123,
+                         help="TCP port (0 = pick a free port)")
+    serve_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or "
+                              "the CPU count)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="shared artifact cache directory (default: "
+                              "REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve_p.add_argument("--timeout", type=float, default=300.0,
+                         help="per-request wall-clock limit in seconds")
+    serve_p.add_argument("--retries", type=int, default=1,
+                         help="crash-recovery retries per request")
+    serve_p.add_argument("--announce", action="store_true",
+                         help="print a JSON line with the bound host/port "
+                              "once serving (used by the load generator)")
+
+    loadtest_p = sub.add_parser(
+        "loadtest",
+        help="drive a concurrent mixed workload against the pipeline "
+             "server and report throughput/latency/cache/dedup numbers",
+    )
+    loadtest_p.add_argument("--quick", action="store_true",
+                            help="CI-sized workload (crc+sha x "
+                                 "wario+ratchet)")
+    loadtest_p.add_argument("--host", default=None,
+                            help="target a running server instead of "
+                                 "spawning one")
+    loadtest_p.add_argument("--port", type=int, default=None)
+    loadtest_p.add_argument("--clients", type=int, default=4,
+                            help="concurrent client connections")
+    loadtest_p.add_argument("--jobs", type=int, default=None,
+                            help="spawned server's worker count")
+    loadtest_p.add_argument("--cache-dir", default=None,
+                            help="spawned server's cache directory "
+                                 "(default: a fresh temp dir — a true "
+                                 "cold start)")
+    loadtest_p.add_argument("--bench", action="append", default=None,
+                            metavar="NAME", help="benchmark to include "
+                                                 "(repeatable)")
+    loadtest_p.add_argument("--env", action="append", default=None,
+                            metavar="NAME",
+                            help="environment to include (repeatable)")
+    loadtest_p.add_argument("--timeout", type=float, default=120.0,
+                            help="per-request timeout in seconds")
+    loadtest_p.add_argument("--no-probes", action="store_true",
+                            help="skip the dedup and crash probes")
+    loadtest_p.add_argument("-o", "--output", default=None,
+                            help="standalone report path (default: merge "
+                                 "under 'loadtest' in BENCH_<rev>.json)")
     return parser
 
 
@@ -204,13 +272,13 @@ def _read_sources(paths):
 
 
 def _cmd_compile(args) -> int:
+    from .backend.disasm import render_compile_listing
+
     program = iclang(_read_sources(args.sources), args.env, unroll_factor=args.unroll)
     checkpoints = sum(1 for i in program.instrs if i.opcode == "checkpoint")
-    listing = disassemble(program)
-    summary = (
-        f"; environment: {args.env}, static checkpoints: {checkpoints}\n"
-    )
-    text = summary + listing + "\n"
+    # shared renderer: the server's ``compile`` listing must be
+    # byte-identical to this output (tests/test_serve_parity.py)
+    text = render_compile_listing(program, args.env)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -287,13 +355,11 @@ def _cmd_lint(args) -> int:
     if args.format == "sarif":
         print(render_sarif(diagnostics))
     elif args.format == "json":
-        # Deterministic order so CI diffs are stable across runs.
-        diagnostics.sort(key=lambda d: (
-            d.loc.file if d.loc is not None else "",
-            d.loc.line if d.loc is not None else 0,
-            d.code,
-        ))
-        print(render_json(diagnostics))
+        # shared renderer (deterministic order): byte-identical to the
+        # server's ``lint`` diagnostics_json payload
+        from .core.lint import diagnostics_json
+
+        print(diagnostics_json(results))
     else:
         for result in results:
             if result.certified:
@@ -322,138 +388,40 @@ def _cmd_lint(args) -> int:
     return EXIT_CLEAN if clean else EXIT_ERRORS
 
 
-def _object_name(obj) -> str:
-    from .ir.values import GlobalVariable
-
-    prefix = "@" if isinstance(obj, GlobalVariable) else "%"
-    return prefix + (getattr(obj, "name", "") or "?")
-
-
-def _object_names(objs):
-    """Sorted printable names of a summary set, or None for TOP."""
-    if objs is None:
-        return None
-    return sorted(_object_name(o) for o in objs)
-
-
-def _analyze_one(module, config):
-    """(function rows, argument rows, cause rows) for one module."""
-    from .analysis.summaries import compute_summaries
-    from .ir.types import is_pointer
-    from .transforms import optimize_module
-
-    optimize_module(module)
-    table = compute_summaries(module, alias_mode=config.alias_mode)
-    functions = []
-    for name in sorted(table.functions):
-        summary = table.functions[name]
-        functions.append({
-            "function": name,
-            "mod": _object_names(summary.mod),
-            "ref": _object_names(summary.ref),
-            "pure": summary.pure,
-            "read_only": summary.read_only,
-            "recursive": summary.recursive,
-            "transparent": name in table.transparent,
-        })
-    arguments = []
-    for function in module.defined_functions():
-        for arg in function.args:
-            if not is_pointer(arg.type):
-                continue
-            arguments.append({
-                "function": function.name,
-                "argument": arg.name,
-                "points_to": _object_names(
-                    table.arg_points_to.get(id(arg), frozenset())
-                ),
-            })
-    arguments.sort(key=lambda row: (row["function"], row["argument"]))
-    causes = sorted(
-        {(c.code, c.function, c.detail) for c in table.causes}
-    )
-    return functions, arguments, causes
-
-
 def _cmd_analyze(args) -> int:
     import json
 
-    from .core.pipeline import environment
-    from .frontend import compile_sources
-    from .ir import verify_module
+    # shared report builder: the server's ``analyze`` request returns
+    # exactly this structure (tests/test_serve_parity.py)
+    from .core.analyze import analyze_report, render_report_text
 
     if bool(args.sources) == bool(args.benchmark):
         print("analyze: pass either source files or --benchmark NAME",
               file=sys.stderr)
         return 2
-    config = environment(args.env)
-    programs = []
     if args.benchmark:
-        from .benchsuite import BENCHMARKS, get_benchmark
-
-        names = list(BENCHMARKS) if args.benchmark == "all" else [args.benchmark]
-        for name in names:
-            programs.append((name, [get_benchmark(name).source]))
+        report = analyze_report(env=args.env, benchmark=args.benchmark)
     else:
-        programs.append((args.sources[0], _read_sources(args.sources)))
-
-    report = []
-    for name, sources in programs:
-        module = compile_sources(sources, name)
-        verify_module(module)
-        functions, arguments, causes = _analyze_one(module, config)
-        report.append({
-            "program": name,
-            "env": config.name,
-            "functions": functions,
-            "arguments": arguments,
-            "precision_losses": [
-                {"code": code, "function": fn, "detail": detail}
-                for code, fn, detail in causes
-            ],
-        })
-
+        report = analyze_report(env=args.env,
+                                sources=_read_sources(args.sources),
+                                name=args.sources[0])
     if args.format == "json":
         print(json.dumps(report, indent=2))
-        return 0
-    for entry in report:
-        print(f"== {entry['program']} [{entry['env']}] ==")
-        for row in entry["functions"]:
-            tags = [
-                tag for tag, on in (
-                    ("pure", row["pure"]),
-                    ("read-only", row["read_only"] and not row["pure"]),
-                    ("recursive", row["recursive"]),
-                    ("transparent", row["transparent"]),
-                ) if on
-            ]
-            suffix = f"  [{', '.join(tags)}]" if tags else ""
-            print(f"  {row['function']}{suffix}")
-            for kind in ("mod", "ref"):
-                sets = row[kind]
-                rendered = "TOP" if sets is None else (
-                    "{" + ", ".join(sets) + "}"
-                )
-                print(f"    {kind}: {rendered}")
-        if entry["arguments"]:
-            print("  pointer arguments:")
-            for row in entry["arguments"]:
-                sets = row["points_to"]
-                rendered = "TOP" if sets is None else (
-                    "{" + ", ".join(sets) + "}"
-                )
-                print(f"    {row['function']}({row['argument']}) -> {rendered}")
-        if entry["precision_losses"]:
-            print("  precision losses:")
-            for loss in entry["precision_losses"]:
-                print(f"    [{loss['code']}] {loss['function']}: "
-                      f"{loss['detail']}")
-        else:
-            print("  precision losses: none")
+    else:
+        print(render_report_text(report))
     return 0
 
 
-def _cmd_envs(_args) -> int:
+def _cmd_envs(args) -> int:
+    if getattr(args, "format", "text") == "json":
+        import json
+
+        # shared payload builder: identical to the server's ``envs``
+        # response (machine-readable environment listing)
+        from .core.pipeline import environments_payload
+
+        print(json.dumps(environments_payload(), indent=2))
+        return 0
     for name, config in ENVIRONMENTS.items():
         bits = []
         if not config.instrument:
@@ -590,8 +558,59 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.directory}")
         return 0
-    print(cache.report().render())
+    report = cache.report()
+    if getattr(args, "format", "text") == "json":
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.server import ServerConfig, serve_forever
+
+    serve_forever(ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        request_timeout=args.timeout,
+        max_retries=args.retries,
+        announce=args.announce,
+    ))
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from .serve.loadtest import LoadtestConfig, render_report, run_loadtest
+
+    config = LoadtestConfig(
+        quick=args.quick,
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        benches=tuple(args.bench) if args.bench else None,
+        envs=tuple(args.env) if args.env else None,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        output=args.output,
+        request_timeout=args.timeout,
+        dedup_probe=not args.no_probes,
+        crash_probe=not args.no_probes,
+    )
+    report, path = run_loadtest(config)
+    print(render_report(report))
+    print(f"wrote {path}")
+    failed = report["errors"] > 0
+    probe = report.get("dedup_probe")
+    if probe is not None and not probe["passed"]:
+        failed = True
+    crash = report.get("crash_probe")
+    if crash is not None and not crash.get("survived"):
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_bench(args) -> int:
@@ -619,6 +638,10 @@ def main(argv=None) -> int:
         return _cmd_cache(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     return _cmd_envs(args)
 
 

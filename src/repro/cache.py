@@ -175,6 +175,20 @@ def lint_key(sources, config, name: str = "program",
                    f"budget={budget}", *sources)
 
 
+def analyze_key(sources, config, name: str = "program") -> str:
+    """Key of one interprocedural-analysis report (``repro analyze``).
+
+    Analysis verdicts are pure functions of the sources, the environment
+    config (alias mode), and the toolchain — keying them like lint
+    verdicts lets the pipeline server serve repeated ``analyze``
+    requests from the store.
+    """
+    if isinstance(sources, str):
+        sources = [sources]
+    return _digest("analyze", ANALYSIS_VERSION_TAG, name, repr(config),
+                   *sources)
+
+
 def inject_key(program_key: str, schedule, war_check: bool,
                max_instructions: int, cost_model_repr: str,
                interrupt_interval=None) -> str:
@@ -231,7 +245,29 @@ class CacheReport:
         ]
         for kind in sorted(self.by_kind or {}):
             lines.append(f"  {kind:<9}: {self.by_kind[kind]}")
+        lines.append(
+            f"this process    : {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores"
+        )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (``repro cache stats -o json`` and the serving
+        metrics): on-disk entry counts plus this process's live
+        hit/miss/store counters."""
+        looked_up = self.hits + self.misses
+        return {
+            "directory": self.directory,
+            "tag": self.tag,
+            "entries": self.entries,
+            "stale": self.stale,
+            "bytes": self.bytes,
+            "by_kind": dict(self.by_kind or {}),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hits / looked_up, 4) if looked_up else 0.0,
+        }
 
 
 class CompileCache:
@@ -377,7 +413,7 @@ def resolve_cache(cache=None) -> Optional[CompileCache]:
 __all__ = [
     "ANALYSIS_VERSION_TAG", "COMPILER_VERSION_TAG", "CacheReport",
     "CompileCache",
-    "cache_enabled", "compile_key", "default_cache_dir", "get_cache",
-    "inject_key", "lint_key", "reset_cache", "resolve_cache", "run_key",
-    "source_fingerprint", "version_tag",
+    "analyze_key", "cache_enabled", "compile_key", "default_cache_dir",
+    "get_cache", "inject_key", "lint_key", "reset_cache", "resolve_cache",
+    "run_key", "source_fingerprint", "version_tag",
 ]

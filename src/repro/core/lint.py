@@ -254,6 +254,24 @@ def lint_sources(
     return result
 
 
+def diagnostics_json(results: List[LintResult]) -> str:
+    """All results' diagnostics as one deterministic JSON document.
+
+    Sorted by (file, line, code) so CI diffs are stable across runs —
+    and shared by ``repro lint --format json`` and the ``lint`` request
+    of :mod:`repro.serve`, which must be byte-identical.
+    """
+    from ..diagnostics import render_json
+
+    diagnostics = [d for r in results for d in r.engine.diagnostics]
+    diagnostics.sort(key=lambda d: (
+        d.loc.file if d.loc is not None else "",
+        d.loc.line if d.loc is not None else 0,
+        d.code,
+    ))
+    return render_json(diagnostics)
+
+
 def lint_benchmarks(
     names: Union[str, List[str]] = "all",
     env: Union[str, EnvironmentConfig] = "wario",
@@ -281,6 +299,6 @@ def lint_benchmarks(
 
 __all__ = [
     "EXIT_CLEAN", "EXIT_ERRORS", "EXIT_COMPILE_FAILED", "LEVEL_ORDER",
-    "LintResult", "strip_checkpoints",
+    "LintResult", "diagnostics_json", "strip_checkpoints",
     "lint_module", "lint_sources", "lint_benchmarks",
 ]

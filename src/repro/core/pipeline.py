@@ -190,6 +190,30 @@ ENVIRONMENTS: Dict[str, EnvironmentConfig] = {
 }
 
 
+#: the EnvironmentConfig fields surfaced by the machine-readable
+#: environment listing (``repro envs -o json`` and the server's ``envs``
+#: request); TEST-ONLY fault-seeding knobs are deliberately excluded —
+#: no named environment ever sets them
+_PUBLIC_CONFIG_FIELDS = (
+    "name", "instrument", "alias_mode", "loop_write_clusterer",
+    "write_clusterer", "expander", "spill_checkpoint_mode",
+    "epilogue_style", "unroll_factor", "max_region_cycles",
+    "volatile_cache", "call_summaries", "checkpoint_elim",
+    "elision_budget",
+)
+
+
+def environment_dict(config: EnvironmentConfig) -> Dict[str, object]:
+    """One environment as a plain JSON-safe dict (public fields only)."""
+    return {field: getattr(config, field) for field in _PUBLIC_CONFIG_FIELDS}
+
+
+def environments_payload() -> List[Dict[str, object]]:
+    """Every named environment, in registry order, as JSON-safe dicts —
+    so clients can enumerate the grid without parsing the text listing."""
+    return [environment_dict(config) for config in ENVIRONMENTS.values()]
+
+
 def environment(name_or_config: Union[str, EnvironmentConfig]) -> EnvironmentConfig:
     if isinstance(name_or_config, EnvironmentConfig):
         return name_or_config

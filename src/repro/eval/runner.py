@@ -165,6 +165,9 @@ class RunResult:
     stats: ExecutionStats
     program: Program
     outputs_ok: bool = True
+    #: the emulation result was served from the disk run-cache (the
+    #: pipeline server reports this as the cell's cache-hit flag)
+    from_cache: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -172,13 +175,15 @@ class RunResult:
 # ---------------------------------------------------------------------------
 
 
-def _execute_cell(cell: Cell, war_check: bool, cache=None) -> RunResult:
+def execute_cell(cell: Cell, war_check: bool, cache=None) -> RunResult:
     """Compile (once) and emulate one grid cell, honouring the disk cache.
 
     The program is compiled a single time and fed to the emulator; the
     same object lands in ``RunResult.program`` for the code-size tables.
     Emulation results are cached under a ``run-`` key derived from the
     program's own content address, the power key, and the WAR-check flag.
+    Also the execution primitive behind the pipeline server's ``eval``
+    request (:mod:`repro.serve.jobs`).
     """
     bench = BENCHMARKS[cell.bench]
     unroll = cell.unroll or None
@@ -196,7 +201,7 @@ def _execute_cell(cell: Cell, war_check: bool, cache=None) -> RunResult:
         )
         stats = store.get(rkey)
         if stats is not None:
-            return RunResult(stats=stats, program=program)
+            return RunResult(stats=stats, program=program, from_cache=True)
     _, stats = run_benchmark(
         bench,
         cell.env,
@@ -236,7 +241,7 @@ def worker_cache(cache_dir: Optional[str], use_disk: bool):
 
 def _pool_worker(payload: Tuple[Cell, bool, Optional[str], bool]) -> RunResult:
     cell, war_check, cache_dir, use_disk = payload
-    return _execute_cell(cell, war_check, worker_cache(cache_dir, use_disk))
+    return execute_cell(cell, war_check, worker_cache(cache_dir, use_disk))
 
 
 def map_ordered(
@@ -349,7 +354,7 @@ class ExperimentRunner:
             )
             result = RunResult(stats=stats, program=program)
         else:
-            result = _execute_cell(cell, self.war_check, self._cache_arg)
+            result = execute_cell(cell, self.war_check, self._cache_arg)
         self._results[cell] = result
         return result
 
@@ -375,7 +380,7 @@ class ExperimentRunner:
         jobs = max(1, min(jobs, len(ordered)))
         if jobs == 1:
             for cell in ordered:
-                self._results[cell] = _execute_cell(
+                self._results[cell] = execute_cell(
                     cell, self.war_check, self._cache_arg
                 )
             return

@@ -1,0 +1,50 @@
+"""repro.serve — the pipeline as a long-lived service.
+
+Every subsystem so far is reachable only through one-shot CLI
+invocations that re-enter the pipeline per process.  This package turns
+the whole toolchain — compile, lint, analyze, inject, eval — into a
+**compiler-as-a-service**: a long-lived asyncio JSON-over-TCP server
+(:mod:`repro.serve.server`) backed by a ``ProcessPoolExecutor`` worker
+pool and the content-addressed :mod:`repro.cache` as the shared
+artifact layer.
+
+The serving-specific machinery:
+
+* :mod:`repro.serve.protocol` — newline-delimited JSON framing, the
+  request/response schema, and an asyncio client with pipelining;
+* :mod:`repro.serve.jobs` — the request handlers that run inside pool
+  workers, each content-addressed under the same cache keys the CLI
+  uses (so server results and CLI results are byte-identical);
+* :mod:`repro.serve.server` — single-flight request coalescing on
+  cache keys (identical in-flight submissions share one execution),
+  per-request timeouts, worker-crash recovery with bounded retry, and
+  graceful drain on shutdown;
+* :mod:`repro.serve.metrics` — per-request-type latency/outcome
+  counters served by the ``stats`` request;
+* :mod:`repro.serve.loadtest` — a concurrent load generator over the
+  benchsuite × environment grid reporting requests/sec, p50/p99
+  latency, cache hit rate, and dedup counts into ``BENCH_<rev>.json``.
+
+Entry points: ``python -m repro serve`` and ``python -m repro loadtest
+[--quick]``; see ``docs/SERVING.md`` for the wire protocol.
+"""
+
+from .jobs import JobError, POOLED_KINDS, request_cache_key
+from .metrics import ServerMetrics, percentile
+from .protocol import (
+    ProtocolError,
+    ServeClient,
+    ServeResponse,
+    decode_request,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from .server import PipelineServer, ServerConfig
+
+__all__ = [
+    "JobError", "POOLED_KINDS", "PipelineServer", "ProtocolError",
+    "ServeClient", "ServeResponse", "ServerConfig", "ServerMetrics",
+    "decode_request", "encode_message", "error_response", "ok_response",
+    "percentile", "request_cache_key",
+]

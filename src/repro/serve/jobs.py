@@ -1,0 +1,419 @@
+"""Request execution inside pool workers.
+
+Each pooled request kind maps to one handler that (a) resolves its
+parameters against the same pipeline entry points the CLI uses, (b)
+content-addresses the work under the same :mod:`repro.cache` keys, and
+(c) returns a JSON-safe payload plus a cache-hit flag.  Because server
+and CLI share both the keys and the render functions
+(:func:`repro.backend.disasm.render_compile_listing`,
+:func:`repro.core.lint.diagnostics_json`,
+:func:`repro.core.analyze.analyze_report`), the server's payloads are
+byte-identical to the equivalent direct invocation — the parity tests
+pin this.
+
+:func:`request_cache_key` computes a request's content address *without
+executing it* (compiling a key is a SHA-256 over the inputs).  The
+server uses it for single-flight coalescing: identical in-flight
+submissions await one execution, completed ones are served from the
+store by the handler itself.
+
+Handlers run in ``ProcessPoolExecutor`` workers; everything here is
+module-level and picklable.  :func:`pool_entry` is the single pool
+entry point — it never raises (structured error dicts cross the process
+boundary instead of exception pickles), except for the deliberate
+``chaos`` probe, which kills the worker to exercise the server's
+crash-recovery path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..cache import (
+    analyze_key,
+    compile_key,
+    lint_key,
+    resolve_cache,
+    run_key,
+    version_tag,
+)
+from ..core.pipeline import EnvironmentConfig, environment
+
+#: request kinds executed on the worker pool (the server handles
+#: ``envs``, ``stats``, ``ping``, and ``shutdown`` inline — they are
+#: metadata, not pipeline work)
+POOLED_KINDS = ("compile", "lint", "analyze", "eval", "inject", "chaos")
+
+#: payload = (result, cache_hit)
+JobPayload = Tuple[Dict[str, Any], bool]
+
+
+class JobError(Exception):
+    """A request that cannot be executed (bad params, unknown names).
+
+    Carries a stable machine-readable ``code`` so clients can branch
+    without parsing messages.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+# ---------------------------------------------------------------------------
+# Parameter resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_sources(params: Dict[str, Any]) -> Tuple[list, str]:
+    """(sources, name) from either ``benchmark`` or ``source(s)``."""
+    bench_name = params.get("benchmark")
+    if bench_name:
+        from ..benchsuite import get_benchmark
+
+        try:
+            bench = get_benchmark(bench_name)
+        except KeyError as exc:
+            raise JobError("unknown-benchmark", str(exc)) from None
+        return [bench.source], bench.name
+    sources = params.get("sources")
+    if sources is None and params.get("source") is not None:
+        sources = [params["source"]]
+    if not sources or not all(isinstance(s, str) for s in sources):
+        raise JobError(
+            "bad-request",
+            "pass either 'benchmark' (a benchsuite name) or "
+            "'source'/'sources' (mini-C text)",
+        )
+    return list(sources), params.get("name", "program")
+
+
+def _resolve_config(params: Dict[str, Any]) -> EnvironmentConfig:
+    """The fully resolved environment config, unroll override applied —
+    exactly the resolution :func:`repro.core.pipeline.iclang` performs,
+    so keys computed here match keys computed there."""
+    env = params.get("env", "wario")
+    try:
+        config = environment(env)
+    except ValueError as exc:
+        raise JobError("unknown-environment", str(exc)) from None
+    unroll = params.get("unroll")
+    if unroll is not None:
+        try:
+            config = replace(config, unroll_factor=int(unroll))
+        except (TypeError, ValueError):
+            raise JobError("bad-request", "'unroll' must be an integer")
+    return config
+
+
+def _params_digest(kind: str, params: Dict[str, Any]) -> str:
+    """Content address for request kinds without a first-class cache key
+    (``inject``): version tag + canonical JSON of the parameters."""
+    blob = json.dumps(params, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    digest = hashlib.sha256()
+    digest.update(version_tag().encode())
+    digest.update(b"\x00")
+    digest.update(kind.encode())
+    digest.update(b"\x00")
+    digest.update(blob.encode())
+    return f"srv-{kind}-{digest.hexdigest()}"
+
+
+def request_cache_key(kind: str, params: Dict[str, Any]) -> str:
+    """The content address the server single-flights this request on.
+
+    Computed without executing anything: two requests with the same key
+    are guaranteed to produce the same artifact, so coalescing them is
+    sound.  ``chaos`` has no key (the server never coalesces probes).
+    Raises :class:`JobError` for unknown kinds or unresolvable params.
+    """
+    if kind == "compile":
+        sources, name = _resolve_sources(params)
+        config = _resolve_config(params)
+        return compile_key(sources, config, name=name)
+    if kind == "lint":
+        sources, name = _resolve_sources(params)
+        config = _resolve_config(params)
+        return lint_key(sources, config, name=name,
+                        level=params.get("level", "full"),
+                        budget=params.get("budget"))
+    if kind == "analyze":
+        bench = params.get("benchmark")
+        if bench == "all":
+            return _params_digest("analyze", params)
+        sources, name = _resolve_sources(params)
+        config = _resolve_config({"env": params.get("env", "wario-summaries")})
+        return analyze_key(sources, config, name=name)
+    if kind == "eval":
+        from ..benchsuite import get_benchmark
+        from ..emulator import DEFAULT_COSTS
+
+        sources, name = _resolve_sources(
+            {"benchmark": params.get("benchmark")}
+        )
+        bench = get_benchmark(params["benchmark"])
+        config = _resolve_config(params)
+        program_key = compile_key(sources, config, name=name)
+        return run_key(
+            program_key,
+            params.get("power", "continuous"),
+            False,
+            bench.max_instructions,
+            repr(DEFAULT_COSTS),
+        )
+    if kind == "inject":
+        return _params_digest("inject", params)
+    if kind == "chaos":
+        raise JobError("internal", "chaos probes are never coalesced")
+    raise JobError("unknown-type", f"unknown request type {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+def _job_compile(params: Dict[str, Any], cache) -> JobPayload:
+    from ..backend.disasm import render_compile_listing
+    from ..core import iclang
+
+    sources, name = _resolve_sources(params)
+    config = _resolve_config(params)
+    key = compile_key(sources, config, name=name)
+    store = resolve_cache(cache)
+    hit = store is not None and store.get(key) is not None
+    program = iclang(sources, config, name=name, cache=cache)
+    checkpoints = sum(1 for i in program.instrs if i.opcode == "checkpoint")
+    return {
+        "program": name,
+        "env": config.name,
+        "listing": render_compile_listing(program, config.name),
+        "text_size": program.text_size,
+        "static_checkpoints": checkpoints,
+        "elisions": getattr(program, "elisions", 0),
+        "cache_key": key,
+    }, hit
+
+
+def _job_lint(params: Dict[str, Any], cache) -> JobPayload:
+    from ..core.lint import diagnostics_json, lint_sources
+
+    sources, name = _resolve_sources(params)
+    config = _resolve_config(params)
+    level = params.get("level", "full")
+    budget = params.get("budget")
+    key = lint_key(sources, config, name=name, level=level, budget=budget)
+    store = resolve_cache(cache)
+    hit = store is not None and store.get(key) is not None
+    try:
+        result = lint_sources(sources, config, name=name, cache=cache,
+                              level=level, budget=budget)
+    except JobError:
+        raise
+    except ValueError as exc:
+        raise JobError("bad-request", str(exc)) from None
+    except Exception as exc:
+        raise JobError("compile-failed", f"compilation failed: {exc}") from None
+    return {
+        "program": result.name,
+        "env": result.env,
+        "level": result.level,
+        "certified": result.certified,
+        "exit_code": result.exit_code,
+        "diagnostics_json": diagnostics_json([result]),
+        "progress_bound": result.progress_bound,
+        "elided": len(result.placement),
+        "cache_key": key,
+    }, hit
+
+
+def _job_analyze(params: Dict[str, Any], cache) -> JobPayload:
+    from ..core.analyze import analyze_report
+
+    env = params.get("env", "wario-summaries")
+    bench = params.get("benchmark")
+    key = request_cache_key("analyze", params)
+    store = resolve_cache(cache)
+    cached = store.get(key) if store is not None else None
+    if cached is not None:
+        return {"report": cached, "cache_key": key}, True
+    try:
+        if bench:
+            report = analyze_report(env=env, benchmark=bench)
+        else:
+            sources, name = _resolve_sources(params)
+            report = analyze_report(env=env, sources=sources, name=name)
+    except JobError:
+        raise
+    except ValueError as exc:
+        raise JobError("bad-request", str(exc)) from None
+    except KeyError as exc:
+        raise JobError("unknown-benchmark", str(exc)) from None
+    except Exception as exc:
+        raise JobError("compile-failed", f"analysis failed: {exc}") from None
+    if store is not None:
+        store.put(key, report)
+    return {"report": report, "cache_key": key}, False
+
+
+def _job_eval(params: Dict[str, Any], cache) -> JobPayload:
+    from ..eval.runner import Cell, execute_cell, power_from_key
+
+    bench_name = params.get("benchmark")
+    if not bench_name:
+        raise JobError("bad-request", "'eval' needs a 'benchmark' name")
+    power_key = params.get("power", "continuous")
+    try:
+        power_from_key(power_key)        # validate before compiling
+    except ValueError as exc:
+        raise JobError("bad-request", str(exc)) from None
+    config = _resolve_config(params)
+    cell = Cell(bench_name, config.name, int(params.get("unroll") or 0),
+                power_key)
+    key = request_cache_key("eval", params)
+    try:
+        result = execute_cell(cell, war_check=False, cache=cache)
+    except KeyError as exc:
+        raise JobError("unknown-benchmark", str(exc)) from None
+    stats = result.stats
+    return {
+        "bench": cell.bench,
+        "env": cell.env,
+        "power": cell.power_key,
+        "instructions": stats.instructions,
+        "cycles": stats.cycles,
+        "checkpoints": stats.checkpoints,
+        "checkpoint_causes": dict(sorted(stats.checkpoint_causes.items())),
+        "power_failures": stats.power_failures,
+        "reexecuted_cycles": stats.reexecuted_cycles,
+        "max_region_cycles": stats.max_region_cycles,
+        "text_size": result.program.text_size,
+        "summary": stats.summary(),
+        "cache_key": key,
+    }, result.from_cache
+
+
+def _job_inject(params: Dict[str, Any], cache) -> JobPayload:
+    from ..faultinject import full_config, quick_config, run_campaign
+
+    overrides: Dict[str, Any] = {
+        "seed": int(params.get("seed", 0)),
+        # serial inside the worker by default: the server's pool is the
+        # fan-out layer, and nesting pools multiplies workers
+        "jobs": int(params.get("jobs", 1)),
+        "max_schedules": int(params.get("budget", 0)),
+    }
+    if params.get("event_cap") is not None:
+        overrides["event_cap"] = int(params["event_cap"])
+    maker = quick_config if params.get("quick", True) else full_config
+    config = maker(**overrides)
+    if params.get("benches"):
+        config = replace(config, benches=tuple(params["benches"]))
+    if params.get("envs"):
+        config = replace(config, envs=tuple(params["envs"]))
+    try:
+        report = run_campaign(config, cache=cache)
+    except Exception as exc:
+        raise JobError("campaign-failed", f"campaign failed: {exc}") from None
+    return {
+        "certified": report.certified,
+        "cells": report.cells,
+        "findings": len(report.findings),
+        "report_json": report.to_json(),
+    }, False
+
+
+def _job_chaos(params: Dict[str, Any], cache) -> JobPayload:
+    """Operational probe: deliberately misbehave inside the worker so the
+    server's recovery paths can be exercised end-to-end (the load
+    generator's crash probe, the timeout tests).  ``exit`` kills the
+    worker process; ``hang`` sleeps past the request timeout; ``noop``
+    round-trips."""
+    action = params.get("action", "noop")
+    if action == "exit":
+        os._exit(int(params.get("code", 23)))
+    if action == "hang":
+        seconds = float(params.get("seconds", 30.0))
+        time.sleep(seconds)
+        return {"slept": seconds}, False
+    if action == "noop":
+        return {"pong": True, "pid": os.getpid()}, False
+    raise JobError("bad-request", f"unknown chaos action {action!r}")
+
+
+_HANDLERS: Dict[str, Callable[[Dict[str, Any], Any], JobPayload]] = {
+    "compile": _job_compile,
+    "lint": _job_lint,
+    "analyze": _job_analyze,
+    "eval": _job_eval,
+    "inject": _job_inject,
+    "chaos": _job_chaos,
+}
+
+
+# ---------------------------------------------------------------------------
+# Pool entry point
+# ---------------------------------------------------------------------------
+
+
+def worker_init() -> None:
+    """Disarm inherited asyncio signal plumbing in pool workers.
+
+    Fork-started workers inherit the server loop's signal wakeup fd and
+    its no-op signal handlers.  Without this, a SIGTERM delivered to a
+    *worker* (e.g. the executor terminating survivors of a broken pool)
+    writes into the wakeup pipe shared with the parent — and the server
+    event loop believes *it* received SIGTERM and drains.  Resetting the
+    wakeup fd and restoring default dispositions keeps worker signals in
+    the workers.
+    """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        return
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def pool_entry(payload: Tuple[str, Dict[str, Any], Optional[str], bool]) -> Dict[str, Any]:
+    """Execute one request inside a pool worker.
+
+    Returns a structured dict (never raises — exceptions don't pickle
+    reliably and must not poison the pool): ``{"status": "ok", "result":
+    ..., "cache_hit": ...}`` or ``{"status": "error", "code": ...,
+    "message": ...}``.
+    """
+    kind, params, cache_dir, use_disk = payload
+    if cache_dir is not None:
+        # nested machinery (the inject campaign's own cell fan-out, any
+        # resolve_cache(None) deep in the pipeline) must land in the
+        # server's store, not the worker environment's default
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+    from ..eval.runner import worker_cache
+
+    cache = worker_cache(cache_dir, use_disk)
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        return {"status": "error", "code": "unknown-type",
+                "message": f"unknown request type {kind!r}"}
+    try:
+        result, cache_hit = handler(params, cache)
+        return {"status": "ok", "result": result, "cache_hit": cache_hit}
+    except JobError as exc:
+        return {"status": "error", "code": exc.code, "message": str(exc)}
+    except Exception as exc:  # the pipeline rejected the program
+        return {"status": "error", "code": "internal",
+                "message": f"{type(exc).__name__}: {exc}"}
+
+
+__all__ = [
+    "JobError", "POOLED_KINDS", "pool_entry", "request_cache_key",
+]

@@ -1,0 +1,503 @@
+"""Concurrent load generation against the pipeline server.
+
+``python -m repro loadtest [--quick]`` spawns a server subprocess (or
+targets a running one via ``--host/--port``), drives a mixed workload —
+``compile``, ``lint``, ``eval``, and ``envs`` requests over the
+benchsuite × environment grid — from several pipelined client
+connections, and reports:
+
+* throughput (requests/sec) and latency (p50 / p99 / mean / max), both
+  aggregate and per request type;
+* cache effectiveness: hit/miss counts and the hit rate — the workload
+  runs in two phases over the same request set, so the warm phase should
+  be nearly all hits;
+* dedup effectiveness: how many requests coalesced onto an in-flight
+  execution, plus a **dedup probe** — a never-before-seen source
+  submitted concurrently from two clients, asserting exactly one
+  execution actually ran (the other either coalesced or hit the cache);
+* a **crash probe**: a ``chaos`` request kills a worker mid-request and
+  the report records whether the server kept serving afterwards.
+
+The report lands in ``BENCH_<rev>.json`` next to the toolchain
+performance numbers (under the ``"loadtest"`` key), or standalone via
+``-o``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import percentile
+from .protocol import ServeClient, ServeResponse
+
+#: the quick (CI-sized) grid; the full grid covers the whole suite
+QUICK_BENCHES = ("crc", "sha")
+QUICK_ENVS = ("wario", "ratchet")
+FULL_ENVS = ("wario", "ratchet", "wario-opt")
+
+
+@dataclass
+class LoadtestConfig:
+    """Everything ``python -m repro loadtest`` can set."""
+
+    quick: bool = False
+    host: Optional[str] = None      #: None = spawn a server subprocess
+    port: Optional[int] = None
+    clients: int = 4                #: concurrent client connections
+    benches: Optional[Sequence[str]] = None
+    envs: Optional[Sequence[str]] = None
+    jobs: Optional[int] = None      #: spawned server's pool width
+    cache_dir: Optional[str] = None  #: None = fresh temp dir (cold start)
+    output: Optional[str] = None    #: None = merge into BENCH_<rev>.json
+    request_timeout: float = 120.0
+    dedup_probe: bool = True
+    crash_probe: bool = True
+    lint_level: str = "ir"          #: keep lint requests cheap under load
+
+
+def _grid(config: LoadtestConfig) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    if config.benches:
+        benches = tuple(config.benches)
+    elif config.quick:
+        benches = QUICK_BENCHES
+    else:
+        from ..benchsuite import BENCHMARKS
+
+        benches = tuple(BENCHMARKS)
+    if config.envs:
+        envs = tuple(config.envs)
+    else:
+        envs = QUICK_ENVS if config.quick else FULL_ENVS
+    return benches, envs
+
+
+def build_workload(config: LoadtestConfig) -> List[Tuple[str, Dict[str, Any]]]:
+    """The mixed request list for one phase (deterministic order)."""
+    benches, envs = _grid(config)
+    work: List[Tuple[str, Dict[str, Any]]] = []
+    for bench in benches:
+        for env in envs:
+            work.append(("compile", {"benchmark": bench, "env": env}))
+            work.append(("lint", {"benchmark": bench, "env": env,
+                                  "level": config.lint_level}))
+            work.append(("eval", {"benchmark": bench, "env": env,
+                                  "power": "continuous"}))
+    work.append(("envs", {}))
+    return work
+
+
+# ---------------------------------------------------------------------------
+# Server subprocess management
+# ---------------------------------------------------------------------------
+
+
+class ServerProcess:
+    """A ``python -m repro serve`` child, bound port read from its
+    announce line."""
+
+    def __init__(self, jobs: Optional[int], cache_dir: Optional[str],
+                 request_timeout: float):
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.request_timeout = request_timeout
+        self.proc: Optional[subprocess.Popen] = None
+        self.host = "127.0.0.1"
+        self.port = 0
+
+    def start(self) -> "ServerProcess":
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--host", self.host, "--port", "0", "--announce",
+                "--timeout", str(self.request_timeout)]
+        if self.jobs is not None:
+            argv += ["--jobs", str(self.jobs)]
+        if self.cache_dir is not None:
+            argv += ["--cache-dir", self.cache_dir]
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        ))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        line = self.proc.stdout.readline()
+        try:
+            announce = json.loads(line)
+            assert announce.get("event") == "serving"
+        except (ValueError, AssertionError):
+            self.stop()
+            raise RuntimeError(
+                f"server failed to start (got {line!r}); stderr:\n"
+                + (self.proc.stderr.read() if self.proc else "")
+            )
+        self.host = announce["host"]
+        self.port = int(announce["port"])
+        return self
+
+    def stop(self) -> None:
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=15)
+        self.proc = None
+
+
+# ---------------------------------------------------------------------------
+# The run
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Sample:
+    kind: str
+    ok: bool
+    cached: bool
+    deduped: bool
+    elapsed_ms: float
+    error: Optional[str] = None
+
+
+async def _drive_phase(
+    host: str, port: int, work: List[Tuple[str, Dict[str, Any]]],
+    clients: int, timeout: float,
+) -> List[_Sample]:
+    """Fire the whole phase concurrently across ``clients`` pipelined
+    connections (request i goes to connection i mod clients)."""
+    clients = max(1, min(clients, len(work)))
+    conns = []
+    for _ in range(clients):
+        conns.append(await ServeClient().connect(host, port))
+    try:
+        async def one(index: int, kind: str, params: Dict[str, Any]) -> _Sample:
+            started = time.perf_counter()
+            try:
+                response = await conns[index % clients].request(
+                    kind, params, timeout=timeout
+                )
+            except ConnectionError as exc:
+                return _Sample(kind, False, False, False,
+                               (time.perf_counter() - started) * 1000.0,
+                               error=str(exc))
+            return _Sample(
+                kind, response.ok, response.cached, response.deduped,
+                (time.perf_counter() - started) * 1000.0,
+                error=response.error_code if not response.ok else None,
+            )
+
+        return list(await asyncio.gather(*[
+            one(i, kind, params) for i, (kind, params) in enumerate(work)
+        ]))
+    finally:
+        for conn in conns:
+            await conn.close()
+
+
+async def _dedup_probe(host: str, port: int,
+                       timeout: float) -> Dict[str, Any]:
+    """Submit a never-seen compile concurrently from two connections.
+
+    Exactly one execution must actually run; the other response must be
+    marked ``deduped`` (it coalesced in flight) or ``cached`` (it
+    arrived after completion).  Both forms mean the work happened once,
+    so the assertion is race-robust.
+    """
+    nonce = os.urandom(8).hex()
+    source = (
+        f"unsigned int nonce = 0x{nonce[:8]};\n"
+        "unsigned int out;\n"
+        "int main(void) {\n"
+        "    out = nonce + 1;\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    params = {"source": source, "name": f"dedup-probe-{nonce}",
+              "env": "wario"}
+    a = await ServeClient().connect(host, port)
+    b = await ServeClient().connect(host, port)
+    try:
+        responses = await asyncio.gather(
+            a.request("compile", params, timeout=timeout),
+            b.request("compile", params, timeout=timeout),
+        )
+    finally:
+        await a.close()
+        await b.close()
+    executed = sum(
+        1 for r in responses if r.ok and not r.deduped and not r.cached
+    )
+    return {
+        "submitted": len(responses),
+        "ok": sum(1 for r in responses if r.ok),
+        "deduped": sum(1 for r in responses if r.deduped),
+        "cached": sum(1 for r in responses if r.cached),
+        "executed_compiles": executed,
+        "passed": executed == 1 and all(r.ok for r in responses),
+    }
+
+
+async def _crash_probe(host: str, port: int,
+                       timeout: float) -> Dict[str, Any]:
+    """Kill a worker mid-request; the request must fail cleanly and the
+    server must keep serving."""
+    client = await ServeClient().connect(host, port)
+    try:
+        chaos = await client.request("chaos", {"action": "exit"},
+                                     timeout=timeout)
+        follow_up = await client.request(
+            "compile", {"benchmark": "crc", "env": "wario"}, timeout=timeout
+        )
+        stats = await client.request("stats", {}, timeout=timeout)
+    except ConnectionError as exc:
+        return {"survived": False, "error": str(exc)}
+    finally:
+        await client.close()
+    return {
+        "survived": follow_up.ok,
+        "chaos_error": chaos.error_code,
+        "worker_crashes": (
+            stats.result.get("worker_crashes") if stats.ok else None
+        ),
+    }
+
+
+def _phase_summary(samples: List[_Sample],
+                   wall_seconds: float) -> Dict[str, Any]:
+    latencies = [s.elapsed_ms for s in samples]
+    per_type: Dict[str, Dict[str, Any]] = {}
+    for sample in samples:
+        row = per_type.setdefault(sample.kind, {
+            "requests": 0, "errors": 0, "cache_hits": 0, "dedup_hits": 0,
+            "latencies": [],
+        })
+        row["requests"] += 1
+        row["errors"] += 0 if sample.ok else 1
+        row["cache_hits"] += 1 if sample.cached else 0
+        row["dedup_hits"] += 1 if sample.deduped else 0
+        row["latencies"].append(sample.elapsed_ms)
+    for row in per_type.values():
+        lat = row.pop("latencies")
+        row["p50_ms"] = round(percentile(lat, 0.50), 3)
+        row["p99_ms"] = round(percentile(lat, 0.99), 3)
+    # cache accounting covers pooled kinds only (inline kinds like
+    # ``envs`` never consult the store) and skips dedup followers, which
+    # neither hit nor missed themselves
+    from .jobs import POOLED_KINDS
+
+    looked_up = sum(
+        1 for s in samples
+        if s.ok and not s.deduped and s.kind in POOLED_KINDS
+    )
+    hits = sum(1 for s in samples if s.cached and not s.deduped)
+    return {
+        "requests": len(samples),
+        "errors": sum(1 for s in samples if not s.ok),
+        "wall_seconds": round(wall_seconds, 3),
+        "requests_per_sec": (
+            round(len(samples) / wall_seconds, 2) if wall_seconds else 0.0
+        ),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "mean": (
+                round(sum(latencies) / len(latencies), 3) if latencies else 0.0
+            ),
+            "max": round(max(latencies), 3) if latencies else 0.0,
+        },
+        "cache_hits": hits,
+        "cache_misses": looked_up - hits,
+        "cache_hit_rate": round(hits / looked_up, 4) if looked_up else 0.0,
+        "dedup_count": sum(1 for s in samples if s.deduped),
+        "per_type": {kind: per_type[kind] for kind in sorted(per_type)},
+    }
+
+
+async def _run(config: LoadtestConfig, host: str,
+               port: int) -> Dict[str, Any]:
+    work = build_workload(config)
+    report: Dict[str, Any] = {
+        "quick": config.quick,
+        "clients": config.clients,
+        "workload_size": len(work),
+    }
+    phases = {}
+    for phase in ("cold", "warm"):
+        started = time.perf_counter()
+        samples = await _drive_phase(
+            host, port, work, config.clients, config.request_timeout
+        )
+        phases[phase] = _phase_summary(
+            samples, time.perf_counter() - started
+        )
+    report["phases"] = phases
+    # headline numbers: the full run (both phases)
+    combined_requests = sum(p["requests"] for p in phases.values())
+    combined_wall = sum(p["wall_seconds"] for p in phases.values())
+    looked_up = sum(
+        p["cache_hits"] + p["cache_misses"] for p in phases.values()
+    )
+    hits = sum(p["cache_hits"] for p in phases.values())
+    report.update({
+        "requests": combined_requests,
+        "errors": sum(p["errors"] for p in phases.values()),
+        "wall_seconds": round(combined_wall, 3),
+        "requests_per_sec": (
+            round(combined_requests / combined_wall, 2)
+            if combined_wall else 0.0
+        ),
+        "latency_ms": {
+            "p50": phases["warm"]["latency_ms"]["p50"],
+            "p99": phases["cold"]["latency_ms"]["p99"],
+        },
+        "cache_hits": hits,
+        "cache_misses": looked_up - hits,
+        "cache_hit_rate": round(hits / looked_up, 4) if looked_up else 0.0,
+        "dedup_count": sum(p["dedup_count"] for p in phases.values()),
+    })
+    if config.dedup_probe:
+        report["dedup_probe"] = await _dedup_probe(
+            host, port, config.request_timeout
+        )
+    if config.crash_probe:
+        report["crash_probe"] = await _crash_probe(
+            host, port, config.request_timeout
+        )
+    client = await ServeClient().connect(host, port)
+    try:
+        stats = await client.request("stats", {},
+                                     timeout=config.request_timeout)
+        if stats.ok:
+            report["server_stats"] = stats.result
+    finally:
+        await client.close()
+    return report
+
+
+def _merge_output(report: Dict[str, Any], output: Optional[str]) -> str:
+    """Write the report: standalone at ``output``, else merged under the
+    ``"loadtest"`` key of ``BENCH_<rev>.json`` (creating a minimal file
+    when no bench run preceded this one)."""
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return output
+    from ..bench import _revision
+
+    revision = _revision()
+    path = f"BENCH_{revision}.json"
+    document: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except ValueError:
+            document = {}
+    document.setdefault("revision", revision)
+    document.setdefault(
+        "timestamp", time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    )
+    document["loadtest"] = report
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def run_loadtest(config: Optional[LoadtestConfig] = None) -> Tuple[Dict[str, Any], str]:
+    """Drive the full load test; returns ``(report, output_path)``."""
+    import tempfile
+
+    config = config or LoadtestConfig()
+    server: Optional[ServerProcess] = None
+    temp_cache: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        if config.host is not None and config.port:
+            host, port = config.host, config.port
+        else:
+            cache_dir = config.cache_dir
+            if cache_dir is None:
+                temp_cache = tempfile.TemporaryDirectory(
+                    prefix="repro-loadtest-cache-"
+                )
+                cache_dir = temp_cache.name
+            server = ServerProcess(
+                config.jobs, cache_dir, config.request_timeout
+            ).start()
+            host, port = server.host, server.port
+        report = _run_sync(config, host, port)
+    finally:
+        if server is not None:
+            server.stop()
+        if temp_cache is not None:
+            temp_cache.cleanup()
+    path = _merge_output(report, config.output)
+    return report, path
+
+
+def _run_sync(config: LoadtestConfig, host: str, port: int) -> Dict[str, Any]:
+    loop = asyncio.new_event_loop()
+    try:
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(_run(config, host, port))
+    finally:
+        asyncio.set_event_loop(None)
+        loop.close()
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    lines = [
+        f"loadtest: {report['requests']} requests, "
+        f"{report['errors']} errors, "
+        f"{report['requests_per_sec']} req/s over "
+        f"{report['wall_seconds']}s "
+        f"({report['clients']} clients)",
+        f"  latency : p50 {report['latency_ms']['p50']} ms (warm), "
+        f"p99 {report['latency_ms']['p99']} ms (cold)",
+        f"  cache   : {report['cache_hits']} hits / "
+        f"{report['cache_misses']} misses "
+        f"(hit rate {report['cache_hit_rate']})",
+        f"  dedup   : {report['dedup_count']} coalesced requests",
+    ]
+    for phase in ("cold", "warm"):
+        summary = report["phases"][phase]
+        lines.append(
+            f"  {phase:<5}   : {summary['requests']} reqs, "
+            f"p50 {summary['latency_ms']['p50']} ms, "
+            f"p99 {summary['latency_ms']['p99']} ms, "
+            f"hit rate {summary['cache_hit_rate']}"
+        )
+    probe = report.get("dedup_probe")
+    if probe:
+        verdict = "passed" if probe["passed"] else "FAILED"
+        lines.append(
+            f"  dedup probe: {verdict} "
+            f"({probe['executed_compiles']} executed, "
+            f"{probe['deduped']} deduped, {probe['cached']} cached)"
+        )
+    crash = report.get("crash_probe")
+    if crash:
+        verdict = "survived" if crash.get("survived") else "DIED"
+        lines.append(
+            f"  crash probe: server {verdict} a worker kill "
+            f"(crashes seen: {crash.get('worker_crashes')})"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "LoadtestConfig", "ServerProcess", "build_workload", "render_report",
+    "run_loadtest",
+]

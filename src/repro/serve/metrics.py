@@ -1,0 +1,136 @@
+"""Server observability: per-request-type latency and outcome counters.
+
+The server records every finished request — including dedup followers,
+which observe the shared execution's latency from their own arrival —
+and the ``stats`` request type serves :meth:`ServerMetrics.snapshot`
+as JSON.  Latency percentiles use the same linear-interpolation rule as
+:meth:`repro.emulator.stats.ExecutionStats.region_percentile`, so the
+numbers line up with the rest of the repo's reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: per-type latency samples kept for percentile computation; beyond the
+#: cap the reservoir keeps the earliest samples (bench runs stay far
+#: below it — the cap only guards a weeks-long server's memory)
+MAX_LATENCY_SAMPLES = 100_000
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``q`` in [0, 1])."""
+    if not values:
+        return 0.0
+    data = sorted(values)
+    pos = (len(data) - 1) * q
+    lower = int(pos)
+    upper = min(lower + 1, len(data) - 1)
+    frac = pos - lower
+    return data[lower] * (1 - frac) + data[upper] * frac
+
+
+@dataclass
+class TypeMetrics:
+    """Counters for one request type."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    dedup_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def record(self, ok: bool, elapsed_ms: float, cached: bool,
+               deduped: bool) -> None:
+        self.requests += 1
+        if ok:
+            self.ok += 1
+        else:
+            self.errors += 1
+        if deduped:
+            self.dedup_hits += 1
+        elif ok:
+            # cache accounting only for the request that actually ran:
+            # a dedup follower neither hit nor missed the store itself
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        if len(self.latencies_ms) < MAX_LATENCY_SAMPLES:
+            self.latencies_ms.append(elapsed_ms)
+
+    def snapshot(self) -> Dict[str, object]:
+        lat = self.latencies_ms
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "dedup_hits": self.dedup_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "p50_ms": round(percentile(lat, 0.50), 3),
+            "p99_ms": round(percentile(lat, 0.99), 3),
+            "mean_ms": round(sum(lat) / len(lat), 3) if lat else 0.0,
+            "max_ms": round(max(lat), 3) if lat else 0.0,
+        }
+
+
+class ServerMetrics:
+    """All the server's counters, snapshotted by the ``stats`` request."""
+
+    def __init__(self):
+        self.started = time.monotonic()
+        self.per_type: Dict[str, TypeMetrics] = {}
+        self.worker_crashes = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.connections = 0
+        self.protocol_errors = 0
+
+    def record(self, kind: str, ok: bool, elapsed_ms: float,
+               cached: bool = False, deduped: bool = False) -> None:
+        entry = self.per_type.get(kind)
+        if entry is None:
+            entry = self.per_type[kind] = TypeMetrics()
+        entry.record(ok, elapsed_ms, cached, deduped)
+
+    # -- aggregates ------------------------------------------------------
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(t, attr) for t in self.per_type.values())
+
+    def snapshot(self, inflight: int = 0,
+                 draining: bool = False) -> Dict[str, object]:
+        cache_hits = self._total("cache_hits")
+        cache_misses = self._total("cache_misses")
+        looked_up = cache_hits + cache_misses
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "requests": self._total("requests"),
+            "ok": self._total("ok"),
+            "errors": self._total("errors"),
+            "inflight": inflight,
+            "draining": draining,
+            "connections": self.connections,
+            "protocol_errors": self.protocol_errors,
+            "dedup_hits": self._total("dedup_hits"),
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cache_hit_rate": (
+                round(cache_hits / looked_up, 4) if looked_up else 0.0
+            ),
+            "worker_crashes": self.worker_crashes,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "per_type": {
+                kind: metrics.snapshot()
+                for kind, metrics in sorted(self.per_type.items())
+            },
+        }
+
+
+__all__ = ["MAX_LATENCY_SAMPLES", "ServerMetrics", "TypeMetrics", "percentile"]

@@ -1,0 +1,227 @@
+"""The wire protocol: newline-delimited JSON over a stream.
+
+One message per line, UTF-8, no framing beyond the ``\\n`` terminator —
+trivially scriptable (``nc`` + ``jq`` work) and trivially robust: a
+malformed line yields an error *response* on the same connection
+instead of killing it.
+
+Request::
+
+    {"id": 7, "type": "compile", "params": {"benchmark": "crc",
+     "env": "wario"}, "timeout": 120}
+
+``id`` is echoed verbatim in the response so clients may pipeline any
+number of concurrent requests per connection; ``timeout`` (seconds,
+optional) caps this request's execution below the server-wide limit.
+
+Response::
+
+    {"id": 7, "ok": true, "result": {...},
+     "meta": {"type": "compile", "cached": false, "deduped": false,
+              "elapsed_ms": 412.7, "key": "program-..."}}
+
+or, on failure::
+
+    {"id": 7, "ok": false, "error": {"code": "unknown-benchmark",
+     "message": "..."}, "meta": {...}}
+
+``meta.cached`` means the artifact was served from the
+content-addressed cache; ``meta.deduped`` means this request coalesced
+onto another in-flight execution of the same cache key (single-flight).
+
+:class:`ServeClient` is the asyncio client used by the load generator,
+the parity tests, and anything else speaking the protocol from Python.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: StreamReader line limit: disassembly listings of the larger
+#: benchmarks run to a few MiB; 16 MiB leaves ample headroom.
+MAX_LINE_BYTES = 1 << 24
+
+
+class ProtocolError(Exception):
+    """A malformed frame (not JSON, not an object, missing ``type``)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One decoded request frame."""
+
+    type: str
+    id: Any = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    timeout: Optional[float] = None
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse one frame into a :class:`Request` (raising, never killing
+    the connection — the server turns the raise into an error response)."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-request", "request must be a JSON object")
+    kind = obj.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("bad-request", "request needs a string 'type'")
+    params = obj.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError("bad-request", "'params' must be an object")
+    timeout = obj.get("timeout")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise ProtocolError("bad-request", "'timeout' must be a number")
+        if timeout <= 0:
+            raise ProtocolError("bad-request", "'timeout' must be positive")
+    return Request(type=kind, id=obj.get("id"), params=params, timeout=timeout)
+
+
+def encode_message(obj: Dict[str, Any]) -> bytes:
+    """One compact JSON frame + newline.
+
+    Keys keep their construction order (no re-sorting): result payloads
+    must round-trip the wire byte-identical to what the CLI's renderers
+    produce, which is what the parity tests pin.  The order is still
+    deterministic — handlers build their dicts in literal order.
+    """
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def ok_response(request_id, result, meta: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result, "meta": meta}
+
+
+def error_response(request_id, code: str, message: str,
+                   meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    return {
+        "id": request_id, "ok": False,
+        "error": {"code": code, "message": message},
+        "meta": meta or {},
+    }
+
+
+@dataclass
+class ServeResponse:
+    """A decoded response, as handed to client callers."""
+
+    ok: bool
+    result: Any = None
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cached(self) -> bool:
+        return bool(self.meta.get("cached"))
+
+    @property
+    def deduped(self) -> bool:
+        return bool(self.meta.get("deduped"))
+
+    @property
+    def elapsed_ms(self) -> float:
+        return float(self.meta.get("elapsed_ms", 0.0))
+
+
+class ServeClient:
+    """Asyncio client with pipelining: any number of requests may be in
+    flight per connection; responses are matched back by ``id``."""
+
+    def __init__(self):
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def connect(self, host: str, port: int) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return self
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    obj = json.loads(line.decode("utf-8"))
+                except ValueError:
+                    continue
+                future = self._pending.pop(obj.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(obj)
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        finally:
+            # connection gone: fail anything still waiting
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("server closed the connection"))
+            self._pending.clear()
+
+    async def request(self, kind: str, params: Optional[Dict[str, Any]] = None,
+                      timeout: Optional[float] = None) -> ServeResponse:
+        """Send one request and await its response."""
+        request_id = next(self._ids)
+        frame: Dict[str, Any] = {"id": request_id, "type": kind,
+                                 "params": params or {}}
+        if timeout is not None:
+            frame["timeout"] = timeout
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_message(frame))
+        await self._writer.drain()
+        obj = await future
+        if obj.get("ok"):
+            return ServeResponse(ok=True, result=obj.get("result"),
+                                 meta=obj.get("meta", {}))
+        error = obj.get("error", {})
+        return ServeResponse(
+            ok=False,
+            error_code=error.get("code", "unknown"),
+            error_message=error.get("message", ""),
+            meta=obj.get("meta", {}),
+        )
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+__all__ = [
+    "MAX_LINE_BYTES", "ProtocolError", "Request", "ServeClient",
+    "ServeResponse", "decode_request", "encode_message", "error_response",
+    "ok_response",
+]

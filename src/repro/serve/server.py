@@ -1,0 +1,468 @@
+"""The asyncio pipeline server: accept loop, worker pool, single-flight.
+
+Architecture (one event loop, N worker processes)::
+
+    client --tcp--> _handle_connection --task--> _handle_request
+                                                     |
+                                    inline kinds  <--+-->  pooled kinds
+                                    (envs, stats,          |
+                                     ping, shutdown)       v
+                                                   _submit (single-flight
+                                                    on the request's cache
+                                                    key) --> ProcessPool
+                                                             (jobs.pool_entry)
+
+Requests are newline-delimited JSON (:mod:`repro.serve.protocol`) and
+fully pipelined: every request gets its own task, responses are written
+as they finish (a per-connection lock keeps frames whole) and matched by
+``id`` on the client.
+
+**Single-flight dedup.**  Pooled requests are keyed by their content
+address (:func:`repro.serve.jobs.request_cache_key` — the same SHA-256
+the disk cache uses).  The first submission creates an asyncio task in
+``_inflight``; identical submissions arriving while it runs await *the
+same task* and are marked ``deduped`` in their response meta.  Requests
+arriving after completion hit the disk cache inside the worker instead
+(``cached`` meta flag).  Either way the expensive work happens once.
+
+**Crash recovery.**  A worker dying (OOM kill, the ``chaos`` probe)
+breaks the pool: every pending future raises ``BrokenExecutor``.  The
+server swaps in a fresh pool and retries each affected request
+independently, up to ``max_retries`` times — except ``chaos`` requests,
+which are *meant* to kill workers and must fail per-request rather than
+loop.  A request exceeding its timeout also retires the pool (the hung
+worker can't be reclaimed) and fails with a ``timeout`` error; other
+in-flight requests finish on the old pool and new ones go to the fresh
+pool.
+
+**Graceful shutdown.**  ``shutdown`` (or SIGTERM/SIGINT) stops the
+accept loop, drains every in-flight request to completion, then tears
+the pool down.  New requests arriving during the drain are refused with
+a ``draining`` error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+try:  # BrokenProcessPool subclasses BrokenExecutor (3.7+)
+    from concurrent.futures import BrokenExecutor
+except ImportError:  # pragma: no cover
+    from concurrent.futures.process import BrokenProcessPool as BrokenExecutor
+
+from .jobs import (
+    JobError,
+    POOLED_KINDS,
+    pool_entry,
+    request_cache_key,
+    worker_init,
+)
+from .metrics import ServerMetrics
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+
+def _best_effort_id(line: bytes):
+    """The ``id`` of a frame that failed validation, if it parses at all
+    — so even a rejected request gets a matchable error response."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+        if isinstance(obj, dict):
+            return obj.get("id")
+    except Exception:
+        pass
+    return None
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``python -m repro serve`` can set."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       #: 0 = pick a free port
+    jobs: Optional[int] = None          #: pool width (None = default_jobs)
+    cache_dir: Optional[str] = None     #: None = REPRO_CACHE_DIR / default
+    request_timeout: float = 300.0      #: per-request wall-clock cap (s)
+    max_retries: int = 1                #: crash-recovery retries per request
+    announce: bool = False              #: print a JSON "serving" line
+
+
+class PipelineServer:
+    """One long-lived compile/analysis service over a shared cache."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._request_tasks: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._shutdown_event = asyncio.Event()
+        self._chaos_seq = 0
+        from ..cache import CompileCache
+
+        self._cache = CompileCache(self.config.cache_dir)
+
+    # -- pool lifecycle --------------------------------------------------
+
+    def _jobs(self) -> int:
+        if self.config.jobs is not None:
+            return max(1, self.config.jobs)
+        from ..eval.runner import default_jobs
+
+        return default_jobs()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._jobs(), initializer=worker_init
+            )
+        return self._pool
+
+    def _retire_pool(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        """Replace ``pool`` if it is still current (idempotent under
+        races: two requests observing the same crash retire it once).
+        ``wait=False`` — a broken pool has nothing to wait for and a
+        hung worker would block forever; running futures on a *healthy*
+        old pool still complete."""
+        if pool is not None and pool is self._pool:
+            self._pool = None
+            pool.shutdown(wait=False)
+
+    # -- request execution ----------------------------------------------
+
+    async def _run_on_pool(self, kind: str, params: Dict[str, Any],
+                           timeout: float) -> Dict[str, Any]:
+        """Execute one pooled request with timeout + crash retry."""
+        loop = asyncio.get_event_loop()
+        payload = (kind, params, self._cache.directory, True)
+        attempts = 0
+        while True:
+            attempts += 1
+            pool = self._ensure_pool()
+            future = loop.run_in_executor(pool, pool_entry, payload)
+            try:
+                return await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                # The worker is hung (or the job is genuinely over
+                # budget); either way the worker can't be reclaimed, so
+                # retire the whole pool and fail this request.
+                self.metrics.timeouts += 1
+                self._retire_pool(pool)
+                raise JobError(
+                    "timeout",
+                    f"request exceeded {timeout:.1f}s wall-clock limit",
+                ) from None
+            except BrokenExecutor:
+                self.metrics.worker_crashes += 1
+                self._retire_pool(pool)
+                # chaos probes kill workers by design: retrying one
+                # would kill workers until the retry budget runs out
+                if kind != "chaos" and attempts <= self.config.max_retries:
+                    self.metrics.retries += 1
+                    continue
+                raise JobError(
+                    "worker-crashed",
+                    f"worker process died executing {kind!r} "
+                    f"(attempt {attempts})",
+                ) from None
+
+    async def _submit(self, request: Request) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Single-flight entry: coalesce on the request's cache key.
+
+        Returns ``(response_payload, meta)`` where the payload is the
+        worker's structured result dict.
+        """
+        kind = request.type
+        timeout = request.timeout or self.config.request_timeout
+        try:
+            if kind == "chaos":
+                # never coalesced: each probe is a distinct event
+                self._chaos_seq += 1
+                key = f"chaos-{self._chaos_seq}"
+                task: Optional[asyncio.Task] = None
+            else:
+                key = request_cache_key(kind, request.params)
+                task = self._inflight.get(key)
+        except JobError as exc:
+            return (
+                {"status": "error", "code": exc.code, "message": str(exc)},
+                {"key": None, "deduped": False},
+            )
+        deduped = task is not None
+        if task is None:
+            task = asyncio.ensure_future(
+                self._run_on_pool(kind, request.params, timeout)
+            )
+            if kind != "chaos":
+                self._inflight[key] = task
+                task.add_done_callback(
+                    lambda _t, _key=key: self._inflight.pop(_key, None)
+                )
+        try:
+            # shield: a follower timing out / disconnecting must not
+            # cancel the leader's execution
+            outcome = await asyncio.shield(task)
+        except JobError as exc:
+            outcome = {"status": "error", "code": exc.code,
+                       "message": str(exc)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            outcome = {"status": "error", "code": "internal",
+                       "message": f"{type(exc).__name__}: {exc}"}
+        return outcome, {"key": key, "deduped": deduped}
+
+    # -- inline kinds ----------------------------------------------------
+
+    def _inline_result(self, request: Request) -> Optional[Dict[str, Any]]:
+        kind = request.type
+        if kind == "ping":
+            return {"pong": True}
+        if kind == "envs":
+            from ..core.pipeline import environments_payload
+
+            return {"environments": environments_payload()}
+        if kind == "stats":
+            snapshot = self.metrics.snapshot(
+                inflight=len(self._inflight), draining=self._draining
+            )
+            snapshot["cache"] = self._cache.report().to_dict()
+            snapshot["jobs"] = self._jobs()
+            return snapshot
+        return None
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_request(self, line: bytes, writer: asyncio.StreamWriter,
+                              write_lock: asyncio.Lock) -> None:
+        started = time.monotonic()
+        request_id: Any = None
+        try:
+            try:
+                request = decode_request(line)
+            except ProtocolError as exc:
+                self.metrics.protocol_errors += 1
+                response = error_response(
+                    _best_effort_id(line), exc.code, str(exc),
+                    {"elapsed_ms": 0.0},
+                )
+                await self._write(writer, write_lock, response)
+                return
+            request_id = request.id
+            kind = request.type
+
+            if kind == "shutdown":
+                await self._write(writer, write_lock, ok_response(
+                    request_id, {"draining": True},
+                    {"type": kind, "elapsed_ms": 0.0},
+                ))
+                self._shutdown_event.set()
+                return
+
+            inline = self._inline_result(request)
+            if inline is not None:
+                elapsed = (time.monotonic() - started) * 1000.0
+                self.metrics.record(kind, ok=True, elapsed_ms=elapsed)
+                await self._write(writer, write_lock, ok_response(
+                    request_id, inline,
+                    {"type": kind, "elapsed_ms": round(elapsed, 3)},
+                ))
+                return
+
+            if kind not in POOLED_KINDS:
+                elapsed = (time.monotonic() - started) * 1000.0
+                self.metrics.record(kind, ok=False, elapsed_ms=elapsed)
+                await self._write(writer, write_lock, error_response(
+                    request_id, "unknown-type",
+                    f"unknown request type {kind!r}",
+                    {"type": kind, "elapsed_ms": round(elapsed, 3)},
+                ))
+                return
+
+            if self._draining:
+                await self._write(writer, write_lock, error_response(
+                    request_id, "draining",
+                    "server is shutting down; not accepting new work",
+                    {"type": kind, "elapsed_ms": 0.0},
+                ))
+                return
+
+            outcome, flight = await self._submit(request)
+            elapsed = (time.monotonic() - started) * 1000.0
+            meta = {
+                "type": kind,
+                "cached": bool(outcome.get("cache_hit")),
+                "deduped": flight["deduped"],
+                "elapsed_ms": round(elapsed, 3),
+                "key": flight["key"],
+            }
+            ok = outcome.get("status") == "ok"
+            self.metrics.record(
+                kind, ok=ok, elapsed_ms=elapsed,
+                cached=meta["cached"], deduped=meta["deduped"],
+            )
+            if ok:
+                response = ok_response(request_id, outcome["result"], meta)
+            else:
+                response = error_response(
+                    request_id, outcome.get("code", "internal"),
+                    outcome.get("message", "unknown error"), meta,
+                )
+            await self._write(writer, write_lock, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to respond to
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            try:
+                await self._write(writer, write_lock, error_response(
+                    request_id, "internal",
+                    f"{type(exc).__name__}: {exc}", {},
+                ))
+            except Exception:
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     write_lock: asyncio.Lock, message: Dict[str, Any]) -> None:
+        async with write_lock:
+            writer.write(encode_message(message))
+            await writer.drain()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.metrics.connections += 1
+        write_lock = asyncio.Lock()
+        tasks = []
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    self.metrics.protocol_errors += 1
+                    await self._write(writer, write_lock, error_response(
+                        None, "oversized",
+                        f"request frame exceeds {MAX_LINE_BYTES} bytes", {},
+                    ))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # one task per request: pipelining — a slow compile must
+                # not head-of-line block a ping on the same connection
+                task = asyncio.ensure_future(
+                    self._handle_request(line, writer, write_lock)
+                )
+                tasks.append(task)
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # loop teardown while parked in readline(): fall through to
+            # cleanup — the coroutine ends immediately after
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                if hasattr(writer, "wait_closed"):
+                    await writer.wait_closed()
+            except Exception:
+                pass
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        host, port = sockname[0], sockname[1]
+        if self.config.announce:
+            import os
+
+            print(json.dumps({
+                "event": "serving", "host": host, "port": port,
+                "pid": os.getpid(), "jobs": self._jobs(),
+                "cache_dir": self._cache.directory,
+            }, sort_keys=True), flush=True)
+        return host, port
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight work, tear the pool down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [t for t in self._request_tasks if not t.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        inflight = [t for t in self._inflight.values() if not t.done()]
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    async def serve_until_shutdown(self) -> None:
+        """start() + block until a ``shutdown`` request or signal, then
+        drain.  The entry point behind ``python -m repro serve``."""
+        await self.start()
+        loop = asyncio.get_event_loop()
+        try:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        signum, self._shutdown_event.set
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-unix / nested loop
+        except ImportError:  # pragma: no cover
+            pass
+        await self._shutdown_event.wait()
+        await self.drain()
+
+
+def serve_forever(config: Optional[ServerConfig] = None) -> None:
+    """Blocking convenience wrapper (the CLI calls this)."""
+    server = PipelineServer(config)
+    if sys.platform == "win32":  # pragma: no cover
+        asyncio.set_event_loop_policy(asyncio.WindowsSelectorEventLoopPolicy())
+    loop = asyncio.new_event_loop()
+    try:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.serve_until_shutdown())
+    except KeyboardInterrupt:  # pragma: no cover
+        loop.run_until_complete(server.drain())
+    finally:
+        try:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+
+__all__ = ["PipelineServer", "ServerConfig", "serve_forever"]

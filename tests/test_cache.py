@@ -208,6 +208,95 @@ def test_cross_process_reuse(tmp_path):
     assert int(proc.stdout.strip()) == program.text_size
 
 
+def test_concurrent_writers_one_winner_no_torn_reads(tmp_path):
+    """Processes racing on the same key: atomic replace means every
+    reader observes one of the complete payloads byte-for-byte — never a
+    torn or interleaved entry — and no temp files leak.
+
+    This is the property the pipeline server's shared artifact layer
+    leans on: its pool workers all write through one directory.
+    """
+    key = "program-race"
+    writer = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.cache import CompileCache\n"
+        "cache = CompileCache(sys.argv[2])\n"
+        "tag = int(sys.argv[3])\n"
+        "payload = bytes([tag]) * 65536\n"
+        "for _ in range(25):\n"
+        "    cache.put(sys.argv[4], payload)\n"
+        "print('done')\n"
+    )
+    reader = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.cache import CompileCache\n"
+        "ok = 0\n"
+        "for _ in range(50):\n"
+        "    cache = CompileCache(sys.argv[2])\n"   # no memo: disk every time
+        "    payload = cache.get(sys.argv[3])\n"
+        "    if payload is None:\n"
+        "        continue\n"
+        "    assert len(payload) == 65536, f'torn read: {len(payload)}'\n"
+        "    assert len(set(payload)) == 1, 'interleaved writers'\n"
+        "    ok += 1\n"
+        "print(ok)\n"
+    )
+    writers = [
+        subprocess.Popen(
+            [sys.executable, "-c", writer, REPO_SRC, str(tmp_path),
+             str(tag), key],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        for tag in (1, 2, 3)
+    ]
+    readers = [
+        subprocess.Popen(
+            [sys.executable, "-c", reader, REPO_SRC, str(tmp_path), key],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        for _ in range(2)
+    ]
+    for proc in writers + readers:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+    # one winner on disk, intact, from one of the writers
+    final = CompileCache(str(tmp_path)).get(key)
+    assert len(final) == 65536
+    assert set(final) in ({1}, {2}, {3})
+    # atomic replace cleaned up after itself
+    leftovers = [f for f in os.listdir(str(tmp_path)) if f.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_live_counters_and_report_dict(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    cache.get("program-absent")
+    cache.put("program-a", 1)
+    cache.get("program-a")
+    report = cache.report()
+    assert (report.hits, report.misses, report.stores) == (1, 1, 1)
+    assert "1 hits, 1 misses, 1 stores" in report.render()
+    payload = report.to_dict()
+    assert payload["hits"] == 1
+    assert payload["misses"] == 1
+    assert payload["stores"] == 1
+    assert payload["hit_rate"] == 0.5
+    assert payload["by_kind"] == {"program": 1}
+    assert payload["directory"] == cache.directory
+
+
+def test_analyze_key_is_distinct_and_stable():
+    from repro.cache import analyze_key
+
+    config = ENVIRONMENTS["wario-summaries"]
+    key = analyze_key(SRC, config)
+    assert key.startswith("analyze-")
+    assert key == analyze_key(SRC, config)
+    assert key != analyze_key(SRC + " ", config)
+    assert key != analyze_key(SRC, config, name="other")
+    assert key != lint_key(SRC, config)
+
+
 def test_lint_results_are_cached(tmp_path):
     from repro.core.lint import lint_sources
 

@@ -34,6 +34,39 @@ class TestCLI:
         for env in ("plain", "ratchet", "r-pdg", "wario", "wario-expander"):
             assert env in out
 
+    def test_envs_json_is_machine_readable(self, capsys):
+        import json
+
+        from repro.core.pipeline import ENVIRONMENTS, environments_payload
+
+        assert main(["envs", "-o", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in payload] == list(ENVIRONMENTS)
+        assert payload == environments_payload()
+        wario = next(e for e in payload if e["name"] == "wario")
+        assert wario["instrument"] is True
+        assert wario["loop_write_clusterer"] is True
+        assert wario["unroll_factor"] == 8
+        # TEST-ONLY fault knobs must not leak into the public listing
+        assert "drop_checkpoint" not in wario
+
+    def test_cache_stats_json(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        from repro.cache import reset_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_cache()
+        try:
+            assert main(["cache", "stats", "-o", "json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            for field in ("directory", "entries", "hits", "misses",
+                          "stores", "hit_rate", "by_kind"):
+                assert field in payload
+            assert payload["directory"] == str(tmp_path)
+        finally:
+            reset_cache()
+
     def test_run_continuous(self, source_file, capsys):
         code = main(["run", source_file, "--env", "wario",
                      "--verify-war", "--print-globals", "total,acc:8"])

@@ -1,0 +1,125 @@
+"""The load generator: workload construction, report shape, BENCH
+merging, and one real end-to-end run against a spawned server."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.loadtest import (
+    LoadtestConfig,
+    build_workload,
+    render_report,
+    run_loadtest,
+)
+
+
+class TestWorkload:
+    def test_quick_grid(self):
+        work = build_workload(LoadtestConfig(quick=True))
+        kinds = [kind for kind, _ in work]
+        # crc+sha x wario+ratchet x (compile, lint, eval) + one envs
+        assert kinds.count("compile") == 4
+        assert kinds.count("lint") == 4
+        assert kinds.count("eval") == 4
+        assert kinds.count("envs") == 1
+
+    def test_explicit_grid_overrides(self):
+        work = build_workload(
+            LoadtestConfig(benches=("crc",), envs=("wario",))
+        )
+        assert len([k for k, _ in work if k == "compile"]) == 1
+        params = [p for kind, p in work if kind == "compile"]
+        assert params == [{"benchmark": "crc", "env": "wario"}]
+
+    def test_workload_is_deterministic(self):
+        config = LoadtestConfig(quick=True)
+        assert build_workload(config) == build_workload(config)
+
+
+class TestMerge:
+    def test_standalone_output(self, tmp_path):
+        from repro.serve.loadtest import _merge_output
+
+        report = {"requests": 1}
+        path = _merge_output(report, str(tmp_path / "out.json"))
+        assert json.loads((tmp_path / "out.json").read_text()) == report
+        assert path == str(tmp_path / "out.json")
+
+    def test_merges_into_bench_document(self, tmp_path, monkeypatch):
+        from repro.bench import _revision
+        from repro.serve.loadtest import _merge_output
+
+        monkeypatch.chdir(tmp_path)
+        bench_path = tmp_path / f"BENCH_{_revision()}.json"
+        bench_path.write_text(json.dumps(
+            {"revision": _revision(), "compile": {"x": 1}}
+        ))
+        path = _merge_output({"requests": 7}, None)
+        assert path == bench_path.name
+        document = json.loads(bench_path.read_text())
+        assert document["compile"] == {"x": 1}      # preserved
+        assert document["loadtest"] == {"requests": 7}
+
+    def test_creates_minimal_bench_document(self, tmp_path, monkeypatch):
+        from repro.bench import _revision
+        from repro.serve.loadtest import _merge_output
+
+        monkeypatch.chdir(tmp_path)
+        path = _merge_output({"requests": 7}, None)
+        document = json.loads((tmp_path / path).read_text())
+        assert document["revision"] == _revision()
+        assert "timestamp" in document
+        assert document["loadtest"]["requests"] == 7
+
+
+class TestEndToEnd:
+    def test_tiny_loadtest_run(self, tmp_path):
+        """One real run: spawned server subprocess, two clients, both
+        probes — the acceptance scenario of the serving subsystem."""
+        report, path = run_loadtest(LoadtestConfig(
+            quick=True,
+            benches=("crc",),
+            envs=("wario",),
+            clients=2,
+            jobs=2,
+            output=str(tmp_path / "loadtest.json"),
+            request_timeout=120.0,
+        ))
+        assert path == str(tmp_path / "loadtest.json")
+        assert report["errors"] == 0
+
+        # the required metrics are all present and sane
+        assert report["requests"] == 8          # 4 requests x 2 phases
+        assert report["requests_per_sec"] > 0
+        assert report["latency_ms"]["p50"] >= 0
+        assert report["latency_ms"]["p99"] >= report["phases"]["cold"][
+            "latency_ms"]["p50"]
+        assert 0.0 <= report["cache_hit_rate"] <= 1.0
+
+        # warm phase re-issues the identical workload: everything the
+        # store covers must hit
+        assert report["phases"]["warm"]["cache_hit_rate"] == 1.0
+        assert report["cache_hits"] > 0
+
+        # dedup probe: two concurrent identical compiles, one execution
+        probe = report["dedup_probe"]
+        assert probe["passed"], probe
+        assert probe["executed_compiles"] == 1
+
+        # crash probe: a worker was killed and the server survived
+        crash = report["crash_probe"]
+        assert crash["survived"], crash
+        assert crash["worker_crashes"] >= 1
+
+        # the server's own stats snapshot rode along
+        stats = report["server_stats"]
+        assert stats["requests"] >= report["requests"]
+        assert stats["worker_crashes"] >= 1
+
+        rendered = render_report(report)
+        assert "dedup probe: passed" in rendered
+        assert "server survived" in rendered
+
+        on_disk = json.loads((tmp_path / "loadtest.json").read_text())
+        assert on_disk["requests"] == report["requests"]

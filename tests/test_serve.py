@@ -1,0 +1,419 @@
+"""The pipeline server: protocol, single-flight dedup, cache behaviour,
+worker-crash recovery, timeouts, and graceful drain.
+
+Each test runs a real :class:`~repro.serve.server.PipelineServer` on an
+ephemeral port inside ``asyncio.run`` — real sockets, a real process
+pool — with a per-test cache directory.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cache import CompileCache, compile_key
+from repro.core.pipeline import environment
+from repro.serve import (
+    POOLED_KINDS,
+    JobError,
+    ProtocolError,
+    ServeClient,
+    decode_request,
+    encode_message,
+    percentile,
+    request_cache_key,
+)
+from repro.serve.server import PipelineServer, ServerConfig
+
+SRC = """
+unsigned int acc = 0;
+unsigned int out;
+int main(void) {
+    unsigned int i;
+    for (i = 0; i < 8; i = i + 1) { acc = acc + i; }
+    out = acc;
+    return 0;
+}
+"""
+
+
+def serve(coro_factory, **config_kwargs):
+    """Start a server, run ``coro_factory(host, port)`` against it, drain."""
+
+    async def main():
+        config_kwargs.setdefault("jobs", 2)
+        server = PipelineServer(ServerConfig(port=0, **config_kwargs))
+        host, port = await server.start()
+        try:
+            return await coro_factory(host, port), server
+        finally:
+            await server.drain()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_decode_round_trip(self):
+        line = json.dumps({"id": 3, "type": "compile",
+                           "params": {"benchmark": "crc"}}).encode()
+        request = decode_request(line)
+        assert request.id == 3
+        assert request.type == "compile"
+        assert request.params == {"benchmark": "crc"}
+        assert request.timeout is None
+
+    def test_decode_rejects_bad_frames(self):
+        for line, code in (
+            (b"not json", "bad-json"),
+            (b"[1, 2]", "bad-request"),
+            (b"{}", "bad-request"),
+            (b'{"type": ""}', "bad-request"),
+            (b'{"type": "x", "params": 7}', "bad-request"),
+            (b'{"type": "x", "timeout": "soon"}', "bad-request"),
+            (b'{"type": "x", "timeout": -1}', "bad-request"),
+        ):
+            with pytest.raises(ProtocolError) as err:
+                decode_request(line)
+            assert err.value.code == code
+
+    def test_encode_is_one_line_preserving_order(self):
+        frame = encode_message({"b": 1, "a": 2})
+        assert frame == b'{"b":1,"a":2}\n'
+
+    def test_percentile(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([10.0], 0.99) == 10.0
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == pytest.approx(50.5)
+        assert percentile(values, 0.99) == pytest.approx(99.01)
+
+
+# ---------------------------------------------------------------------------
+# request cache keys
+# ---------------------------------------------------------------------------
+
+
+class TestRequestCacheKey:
+    def test_compile_key_matches_cache_layer(self):
+        key = request_cache_key(
+            "compile", {"source": SRC, "name": "prog", "env": "wario"}
+        )
+        assert key == compile_key([SRC], environment("wario"), name="prog")
+
+    def test_same_work_same_key_across_kinds(self):
+        for kind in ("compile", "lint", "eval"):
+            params = {"benchmark": "crc", "env": "wario"}
+            assert request_cache_key(kind, params) == \
+                request_cache_key(kind, dict(params))
+        keys = {
+            request_cache_key(kind, {"benchmark": "crc", "env": "wario"})
+            for kind in ("compile", "lint", "eval")
+        }
+        assert len(keys) == 3          # kinds never collide
+
+    def test_unroll_changes_the_compile_key(self):
+        base = request_cache_key("compile", {"benchmark": "crc"})
+        unrolled = request_cache_key(
+            "compile", {"benchmark": "crc", "unroll": 2}
+        )
+        assert base != unrolled
+
+    def test_bad_params_raise_job_errors(self):
+        with pytest.raises(JobError) as err:
+            request_cache_key("compile", {"benchmark": "nope"})
+        assert err.value.code == "unknown-benchmark"
+        with pytest.raises(JobError) as err:
+            request_cache_key("compile", {"source": SRC, "env": "nope"})
+        assert err.value.code == "unknown-environment"
+        with pytest.raises(JobError) as err:
+            request_cache_key("compile", {})
+        assert err.value.code == "bad-request"
+        with pytest.raises(JobError):
+            request_cache_key("frobnicate", {})
+
+    def test_inject_key_is_param_addressed(self):
+        a = request_cache_key("inject", {"benches": ["crc"], "seed": 0})
+        assert a == request_cache_key("inject", {"benches": ["crc"], "seed": 0})
+        assert a != request_cache_key("inject", {"benches": ["crc"], "seed": 1})
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+
+
+class TestServer:
+    def test_ping_envs_stats_inline(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                ping = await client.request("ping")
+                envs = await client.request("envs")
+                stats = await client.request("stats")
+            finally:
+                await client.close()
+            return ping, envs, stats
+
+        (ping, envs, stats), _ = serve(scenario, cache_dir=str(tmp_path))
+        assert ping.ok and ping.result == {"pong": True}
+        names = [e["name"] for e in envs.result["environments"]]
+        assert "wario" in names and "ratchet" in names
+        assert stats.ok
+        for field in ("requests", "cache_hit_rate", "dedup_hits",
+                      "worker_crashes", "per_type", "uptime_seconds"):
+            assert field in stats.result
+
+    def test_compile_cold_then_cached(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                params = {"source": SRC, "name": "prog", "env": "wario"}
+                cold = await client.request("compile", params)
+                warm = await client.request("compile", params)
+            finally:
+                await client.close()
+            return cold, warm
+
+        (cold, warm), server = serve(scenario, cache_dir=str(tmp_path))
+        assert cold.ok and not cold.cached and not cold.deduped
+        assert warm.ok and warm.cached and not warm.deduped
+        assert cold.result["listing"] == warm.result["listing"]
+        assert cold.result["cache_key"].startswith("program-")
+        assert "; environment: wario" in cold.result["listing"]
+        snapshot = server.metrics.snapshot()
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["cache_misses"] == 1
+
+    def test_identical_inflight_requests_coalesce(self, tmp_path):
+        async def scenario(host, port):
+            a = await ServeClient().connect(host, port)
+            b = await ServeClient().connect(host, port)
+            try:
+                params = {"source": SRC, "name": "dedup", "env": "wario"}
+                responses = await asyncio.gather(
+                    a.request("compile", params),
+                    b.request("compile", params),
+                    a.request("compile", params),
+                )
+            finally:
+                await a.close()
+                await b.close()
+            return responses
+
+        responses, server = serve(scenario, cache_dir=str(tmp_path), jobs=1)
+        assert all(r.ok for r in responses)
+        executed = [r for r in responses if not r.deduped and not r.cached]
+        assert len(executed) == 1      # the work happened exactly once
+        assert len({r.result["cache_key"] for r in responses}) == 1
+        assert server.metrics.snapshot()["dedup_hits"] == \
+            sum(1 for r in responses if r.deduped)
+
+    def test_distinct_requests_do_not_coalesce(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                return await asyncio.gather(
+                    client.request("compile", {"source": SRC, "name": "a",
+                                               "env": "wario"}),
+                    client.request("compile", {"source": SRC, "name": "a",
+                                               "env": "ratchet"}),
+                )
+            finally:
+                await client.close()
+
+        responses, _ = serve(scenario, cache_dir=str(tmp_path))
+        assert all(r.ok for r in responses)
+        assert not any(r.deduped for r in responses)
+        assert responses[0].result["cache_key"] != \
+            responses[1].result["cache_key"]
+
+    def test_lint_and_eval_requests(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                lint = await client.request(
+                    "lint", {"source": SRC, "name": "prog", "env": "wario",
+                             "level": "ir"}
+                )
+                evaluated = await client.request(
+                    "eval", {"benchmark": "crc", "env": "wario"}
+                )
+            finally:
+                await client.close()
+            return lint, evaluated
+
+        (lint, evaluated), _ = serve(scenario, cache_dir=str(tmp_path))
+        assert lint.ok
+        assert lint.result["certified"] is True
+        assert json.loads(lint.result["diagnostics_json"])["diagnostics"] == []
+        assert evaluated.ok
+        assert evaluated.result["instructions"] > 0
+        assert evaluated.result["checkpoints"] > 0
+
+    def test_error_responses(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                unknown_type = await client.request("frobnicate")
+                unknown_bench = await client.request(
+                    "compile", {"benchmark": "nope"}
+                )
+                bad_params = await client.request("compile", {})
+                bad_source = await client.request(
+                    "compile", {"source": "int main( {", "name": "broken"}
+                )
+            finally:
+                await client.close()
+            return unknown_type, unknown_bench, bad_params, bad_source
+
+        (unknown_type, unknown_bench, bad_params, bad_source), _ = serve(
+            scenario, cache_dir=str(tmp_path)
+        )
+        assert unknown_type.error_code == "unknown-type"
+        assert unknown_bench.error_code == "unknown-benchmark"
+        assert bad_params.error_code == "bad-request"
+        assert not bad_source.ok
+
+    def test_malformed_frame_gets_error_response_and_connection_lives(
+        self, tmp_path
+    ):
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b'{"id": 9, "type": 42}\n')
+                await writer.drain()
+                error = json.loads(await reader.readline())
+                writer.write(b'{"id": 10, "type": "ping"}\n')
+                await writer.drain()
+                ping = json.loads(await reader.readline())
+            finally:
+                writer.close()
+            return error, ping
+
+        (error, ping), server = serve(scenario, cache_dir=str(tmp_path))
+        assert error["ok"] is False
+        assert error["id"] == 9        # matchable even though rejected
+        assert error["error"]["code"] == "bad-request"
+        assert ping["ok"] is True      # the connection survived
+        assert server.metrics.protocol_errors == 1
+
+    def test_worker_crash_recovers(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                chaos = await client.request("chaos", {"action": "exit"})
+                after = await client.request(
+                    "compile", {"source": SRC, "name": "prog", "env": "wario"}
+                )
+            finally:
+                await client.close()
+            return chaos, after
+
+        (chaos, after), server = serve(scenario, cache_dir=str(tmp_path),
+                                       jobs=1)
+        assert not chaos.ok
+        assert chaos.error_code == "worker-crashed"
+        assert after.ok                # pool was rebuilt transparently
+        assert server.metrics.worker_crashes >= 1
+
+    def test_crash_mid_request_retries_innocent_work(self, tmp_path):
+        """A compile sharing the pool with a crashing worker is retried,
+        not failed: the crash breaks every pending future, but only the
+        chaos probe is non-retryable."""
+
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                return await asyncio.gather(
+                    client.request("chaos", {"action": "exit"}),
+                    client.request(
+                        "compile",
+                        {"source": SRC, "name": "victim", "env": "wario"},
+                    ),
+                )
+            finally:
+                await client.close()
+
+        (chaos, compiled), server = serve(
+            scenario, cache_dir=str(tmp_path), jobs=1, max_retries=2
+        )
+        assert not chaos.ok
+        assert compiled.ok, compiled.error_message
+
+    def test_request_timeout_fails_cleanly(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                # short hang: the abandoned worker finishes its sleep in
+                # the background, and the interpreter's exit hook joins
+                # it — keep that tail latency bounded
+                hung = await client.request(
+                    "chaos", {"action": "hang", "seconds": 5},
+                    timeout=0.5,
+                )
+                after = await client.request("ping")
+            finally:
+                await client.close()
+            return hung, after
+
+        (hung, after), server = serve(scenario, cache_dir=str(tmp_path),
+                                      jobs=1)
+        assert not hung.ok
+        assert hung.error_code == "timeout"
+        assert after.ok                # server kept serving
+        assert server.metrics.timeouts == 1
+
+    def test_shutdown_request_drains(self, tmp_path):
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                response = await client.request("shutdown")
+            finally:
+                await client.close()
+            return response
+
+        async def main():
+            server = PipelineServer(
+                ServerConfig(port=0, jobs=1, cache_dir=str(tmp_path))
+            )
+            host, port = await server.start()
+            serve_task = asyncio.ensure_future(
+                server._shutdown_event.wait()
+            )
+            response = await scenario(host, port)
+            await asyncio.wait_for(serve_task, timeout=5)
+            await server.drain()
+            return response
+
+        response = asyncio.run(main())
+        assert response.ok
+        assert response.result == {"draining": True}
+
+    def test_shared_cache_across_server_instances(self, tmp_path):
+        """A second server over the same directory serves the first
+        server's artifacts as cache hits (the shared artifact layer)."""
+
+        async def scenario(host, port):
+            client = await ServeClient().connect(host, port)
+            try:
+                return await client.request(
+                    "compile", {"source": SRC, "name": "prog", "env": "wario"}
+                )
+            finally:
+                await client.close()
+
+        first, _ = serve(scenario, cache_dir=str(tmp_path))
+        second, _ = serve(scenario, cache_dir=str(tmp_path))
+        assert first.ok and not first.cached
+        assert second.ok and second.cached
+        assert first.result["listing"] == second.result["listing"]
+
+    def test_pooled_kinds_is_the_public_surface(self):
+        assert set(POOLED_KINDS) == {
+            "compile", "lint", "analyze", "eval", "inject", "chaos"
+        }

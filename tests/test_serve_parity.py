@@ -1,0 +1,178 @@
+"""CLI ⇄ server parity: every server request type must return payloads
+byte-identical to the equivalent direct CLI / pipeline invocation.
+
+This is the contract that makes the server a drop-in: clients migrating
+from shelling out to ``python -m repro`` must observe exactly the same
+artifacts — compile listings, lint diagnostics JSON, analyze reports,
+environment listings, emulation statistics, campaign reports.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.cache import CompileCache
+from repro.serve import ServeClient
+from repro.serve.server import PipelineServer, ServerConfig
+
+SRC = """
+unsigned int acc[4]; unsigned int total;
+int main(void) {
+    int i; unsigned int t = 0;
+    for (i = 0; i < 4; i++) { acc[i] = acc[i] + 2; t += acc[i]; }
+    total = t;
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+def ask(cache_dir, *requests):
+    """One server session; returns the response for each (kind, params)."""
+
+    async def main():
+        server = PipelineServer(
+            ServerConfig(port=0, jobs=1, cache_dir=str(cache_dir))
+        )
+        host, port = await server.start()
+        client = await ServeClient().connect(host, port)
+        try:
+            out = []
+            for kind, params in requests:
+                out.append(await client.request(kind, params, timeout=600))
+            return out
+        finally:
+            await client.close()
+            await server.drain()
+
+    return asyncio.run(main())
+
+
+class TestParity:
+    def test_compile_listing_matches_cli_file_bytes(
+        self, source_file, tmp_path, capsys
+    ):
+        out_path = tmp_path / "listing.txt"
+        assert main(["compile", source_file, "--env", "wario",
+                     "-o", str(out_path)]) == 0
+        capsys.readouterr()
+        (response,) = ask(
+            tmp_path / "cache",
+            # "program": the module name the CLI compiles under by default
+            ("compile", {"source": SRC, "name": "program", "env": "wario"}),
+        )
+        assert response.ok, response.error_message
+        assert response.result["listing"] == out_path.read_text()
+
+    def test_compile_stdout_matches_too(self, source_file, capsys, tmp_path):
+        assert main(["compile", source_file, "--env", "ratchet"]) == 0
+        stdout = capsys.readouterr().out
+        (response,) = ask(
+            tmp_path / "cache",
+            ("compile", {"source": SRC, "name": "program", "env": "ratchet"}),
+        )
+        assert response.ok
+        # the CLI print() appends one newline to the rendered listing
+        assert stdout == response.result["listing"] + "\n"
+
+    def test_lint_diagnostics_json_matches_cli(self, capsys, tmp_path):
+        # seed a WAR violation so the diagnostics list is non-trivial:
+        # 'plain' leaves the program uninstrumented
+        assert main(["lint", "--benchmark", "crc", "--env", "wario",
+                     "--level", "ir", "--format", "json"]) == 0
+        stdout = capsys.readouterr().out
+        (response,) = ask(
+            tmp_path / "cache",
+            ("lint", {"benchmark": "crc", "env": "wario", "level": "ir"}),
+        )
+        assert response.ok
+        assert stdout == response.result["diagnostics_json"] + "\n"
+
+    def test_lint_diagnostics_json_matches_on_findings(
+        self, capsys, tmp_path
+    ):
+        source = tmp_path / "war.c"
+        source.write_text(SRC)
+        # 'plain' is uninstrumented: the IR WAR verifier reports real
+        # diagnostics, so parity is checked on a non-empty document
+        code = main(["lint", str(source), "--env", "plain",
+                     "--level", "ir", "--format", "json"])
+        stdout = capsys.readouterr().out
+        (response,) = ask(
+            tmp_path / "cache",
+            ("lint", {"source": SRC, "name": str(source), "env": "plain",
+                      "level": "ir"}),
+        )
+        assert response.ok
+        assert stdout == response.result["diagnostics_json"] + "\n"
+        assert (code == 0) == (response.result["exit_code"] == 0)
+
+    def test_envs_json_matches_cli(self, capsys, tmp_path):
+        assert main(["envs", "-o", "json"]) == 0
+        stdout = capsys.readouterr().out
+        (response,) = ask(tmp_path / "cache", ("envs", {}))
+        assert response.ok
+        assert stdout == json.dumps(
+            response.result["environments"], indent=2
+        ) + "\n"
+
+    def test_analyze_report_matches_cli(self, capsys, tmp_path):
+        assert main(["analyze", "--benchmark", "crc",
+                     "--format", "json"]) == 0
+        stdout = capsys.readouterr().out
+        (response,) = ask(
+            tmp_path / "cache", ("analyze", {"benchmark": "crc"})
+        )
+        assert response.ok
+        assert stdout == json.dumps(response.result["report"], indent=2) + "\n"
+
+    def test_eval_matches_execute_cell(self, tmp_path):
+        from repro.eval.runner import Cell, execute_cell
+
+        (response,) = ask(
+            tmp_path / "cache",
+            ("eval", {"benchmark": "crc", "env": "wario",
+                      "power": "continuous"}),
+        )
+        assert response.ok
+        local = execute_cell(
+            Cell("crc", "wario"), war_check=False,
+            cache=CompileCache(str(tmp_path / "local-cache")),
+        )
+        stats = local.stats
+        assert response.result["instructions"] == stats.instructions
+        assert response.result["cycles"] == stats.cycles
+        assert response.result["checkpoints"] == stats.checkpoints
+        assert response.result["checkpoint_causes"] == dict(
+            sorted(stats.checkpoint_causes.items())
+        )
+        assert response.result["summary"] == stats.summary()
+        assert response.result["text_size"] == local.program.text_size
+
+    def test_inject_matches_run_campaign(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.faultinject import quick_config, run_campaign
+
+        params = {"quick": True, "seed": 0, "jobs": 1, "budget": 1,
+                  "event_cap": 1, "benches": ["crc"], "envs": ["wario"]}
+        (response,) = ask(tmp_path / "cache", ("inject", params))
+        assert response.ok, response.error_message
+        config = replace(
+            quick_config(seed=0, jobs=1, max_schedules=1, event_cap=1),
+            benches=("crc",), envs=("wario",),
+        )
+        report = run_campaign(
+            config, cache=CompileCache(str(tmp_path / "local-cache"))
+        )
+        assert response.result["report_json"] == report.to_json()
+        assert response.result["certified"] == report.certified
+        assert response.result["cells"] == report.cells
